@@ -1,0 +1,420 @@
+// Benchmarks regenerating the paper's evaluation tables as testing.B
+// targets. Each table has a dedicated benchmark family; run them all
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// Table 4 is special: its Plain/Graph/Verification columns literally are
+// the BenchmarkTable4* measurements (ns/op of the three execution modes).
+package eol
+
+import (
+	"fmt"
+	"testing"
+
+	"eol/internal/bench"
+	"eol/internal/confidence"
+	"eol/internal/core"
+	"eol/internal/critpred"
+	"eol/internal/ddg"
+	"eol/internal/harness"
+	"eol/internal/implicit"
+	"eol/internal/interp"
+	"eol/internal/slicing"
+	"eol/internal/trace"
+)
+
+// prepared caches benchmark-case preparation across benchmarks.
+var prepared = map[string]*bench.Prepared{}
+
+func prep(b *testing.B, name string) *bench.Prepared {
+	b.Helper()
+	if p, ok := prepared[name]; ok {
+		return p
+	}
+	c := bench.ByName(name)
+	if c == nil {
+		b.Fatalf("unknown case %s", name)
+	}
+	p, err := c.Prepare()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prepared[name] = p
+	return p
+}
+
+func allCaseNames() []string {
+	var names []string
+	for _, c := range bench.Cases() {
+		names = append(names, c.Name())
+	}
+	return names
+}
+
+// BenchmarkTable1Characteristics times the benchmark-inventory pass.
+func BenchmarkTable1Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.Table1()
+		if len(rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTable2Slicing regenerates Table 2: per case, the classic
+// dynamic slice (DS) and the relevant slice (RS) of the wrong output.
+func BenchmarkTable2Slicing(b *testing.B) {
+	for _, name := range allCaseNames() {
+		p := prep(b, name)
+		seq, _, ok := slicing.FirstWrongOutput(p.Run.OutputValues(), p.Expected)
+		if !ok {
+			b.Fatal("no failure")
+		}
+		seed := slicing.FailureSeeds(p.Run.Trace, seq)
+
+		b.Run(name+"/DS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := ddg.New(p.Run.Trace)
+				if len(slicing.Dynamic(g, seed)) == 0 {
+					b.Fatal("empty slice")
+				}
+			}
+		})
+		b.Run(name+"/RS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cx := slicing.NewContext(p.Faulty, p.Run.Trace)
+				g := ddg.New(p.Run.Trace)
+				if len(cx.Relevant(g, seed)) == 0 {
+					b.Fatal("empty slice")
+				}
+			}
+		})
+		b.Run(name+"/PS", func(b *testing.B) {
+			var correct []trace.Output
+			for i := 0; i < seq; i++ {
+				correct = append(correct, *p.Run.Trace.OutputAt(i))
+			}
+			wrong := *p.Run.Trace.OutputAt(seq)
+			for i := 0; i < b.N; i++ {
+				g := ddg.New(p.Run.Trace)
+				an := confidence.New(p.Faulty, g, p.Profile, correct, wrong)
+				an.Compute()
+				_ = an.FaultCandidates()
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Effectiveness regenerates Table 3: the full demand-
+// driven localization per case.
+func BenchmarkTable3Effectiveness(b *testing.B) {
+	for _, name := range allCaseNames() {
+		p := prep(b, name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Locate(p.Spec())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Located {
+					b.Fatalf("%s: not located", name)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Performance regenerates Table 4's three columns as
+// separate measurements: Plain execution, Graph (traced) execution, and
+// one Verification re-execution with alignment.
+func BenchmarkTable4Performance(b *testing.B) {
+	for _, name := range allCaseNames() {
+		p := prep(b, name)
+		in := p.Case.FailingInput
+
+		b.Run(name+"/Plain", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := interp.Run(p.Faulty, interp.Options{Input: in})
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		})
+		b.Run(name+"/Graph", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := interp.Run(p.Faulty, interp.Options{Input: in, BuildTrace: true})
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		})
+		b.Run(name+"/Verify", func(b *testing.B) {
+			seq, _, ok := slicing.FirstWrongOutput(p.Run.OutputValues(), p.Expected)
+			if !ok {
+				b.Fatal("no failure")
+			}
+			wrong := *p.Run.Trace.OutputAt(seq)
+			// Verify one representative dependence: the wrong output on
+			// the first preceding predicate instance with a potential
+			// dependence.
+			cx := slicing.NewContext(p.Faulty, p.Run.Trace)
+			pds := cx.PotentialDeps(wrong.Entry)
+			if len(pds) == 0 {
+				b.Skip("no potential dependence at the wrong output")
+			}
+			req := implicit.Request{
+				Pred: pds[0].Pred, Use: wrong.Entry,
+				UseSym: pds[0].UseSym, UseElem: pds[0].UseElem,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := &implicit.Verifier{
+					C: p.Faulty, Input: in, Orig: p.Run.Trace,
+					WrongOut: wrong, Vexp: p.Expected[seq], HasVexp: true,
+				}
+				v.VerifyDetailed(req)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRSConfidence times the naive relevant-slicing +
+// confidence combination (§3.2) on the Fig. 1 case.
+func BenchmarkAblationRSConfidence(b *testing.B) {
+	p := prep(b, "gzipsim/V2-F3")
+	seq, _, _ := slicing.FirstWrongOutput(p.Run.OutputValues(), p.Expected)
+	var correct []trace.Output
+	for i := 0; i < seq; i++ {
+		correct = append(correct, *p.Run.Trace.OutputAt(i))
+	}
+	wrong := *p.Run.Trace.OutputAt(seq)
+	for i := 0; i < b.N; i++ {
+		cx := slicing.NewContext(p.Faulty, p.Run.Trace)
+		g := ddg.New(p.Run.Trace)
+		cx.Relevant(g, slicing.FailureSeeds(p.Run.Trace, seq))
+		an := confidence.New(p.Faulty, g, p.Profile, correct, wrong)
+		an.Kinds |= ddg.Potential
+		an.Naive = true
+		an.Compute()
+	}
+}
+
+// BenchmarkAblationEdgesVsPaths compares the two VerifyDep modes on the
+// case where they differ most (gzipsim).
+func BenchmarkAblationEdgesVsPaths(b *testing.B) {
+	p := prep(b, "gzipsim/V2-F3")
+	for _, mode := range []struct {
+		name string
+		path bool
+	}{{"edges", false}, {"paths", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := p.Spec()
+				spec.PathMode = mode.path
+				rep, err := core.Locate(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Located {
+					b.Fatal("not located")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCritPred times the ICSE 2006 critical-predicate
+// search baseline against the locator on the same case.
+func BenchmarkAblationCritPred(b *testing.B) {
+	p := prep(b, "flexsim/V1-F9")
+	b.Run("critpred", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := critpred.Search(p.Faulty, p.Case.FailingInput, p.Expected,
+				critpred.Options{Strategy: critpred.Prior})
+			if !res.Found {
+				b.Fatal("not found")
+			}
+		}
+	})
+	b.Run("locator", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := core.Locate(p.Spec())
+			if err != nil || !rep.Located {
+				b.Fatalf("locate failed: %v", err)
+			}
+		}
+	})
+}
+
+// BenchmarkAlignment times Algorithm 1 in isolation: matching the wrong
+// output point across a switched re-execution of the grep analog.
+func BenchmarkAlignment(b *testing.B) {
+	p := prep(b, "grepsim/V4-F2")
+	seq, _, _ := slicing.FirstWrongOutput(p.Run.OutputValues(), p.Expected)
+	wrong := *p.Run.Trace.OutputAt(seq)
+	cx := slicing.NewContext(p.Faulty, p.Run.Trace)
+	pds := cx.PotentialDeps(wrong.Entry)
+	if len(pds) == 0 {
+		b.Skip("no potential dependence")
+	}
+	pe := p.Run.Trace.At(pds[0].Pred)
+	sw := interp.Run(p.Faulty, interp.Options{
+		Input: p.Case.FailingInput, BuildTrace: true,
+		Switch: &interp.SwitchPlan{Stmt: pe.Inst.Stmt, Occ: pe.Inst.Occ},
+	})
+	if sw.Err != nil {
+		b.Fatal(sw.Err)
+	}
+	prog := &Program{c: p.Faulty}
+	orig := &Execution{p: prog, res: p.Run}
+	swe := &Execution{p: prog, res: sw}
+	point := p.Run.Trace.At(wrong.Entry).Inst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AlignPoint(orig, swe, pe.Inst, point)
+	}
+}
+
+// BenchmarkPotentialDeps times Definition 1 enumeration at the wrong
+// output of every case.
+func BenchmarkPotentialDeps(b *testing.B) {
+	for _, name := range allCaseNames() {
+		p := prep(b, name)
+		seq, _, _ := slicing.FirstWrongOutput(p.Run.OutputValues(), p.Expected)
+		seed := slicing.FailureSeeds(p.Run.Trace, seq)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cx := slicing.NewContext(p.Faulty, p.Run.Trace)
+				cx.PotentialDeps(seed)
+			}
+		})
+	}
+}
+
+// BenchmarkInterpreterThroughput measures raw substrate speed: statement
+// instances per second in plain and traced modes on the largest trace.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	src := `
+func main() {
+    var n = read();
+    var acc = 0;
+    for (var i = 0; i < n; i++) {
+        acc = (acc * 31 + i) % 65521;
+        if (acc % 7 == 0) {
+            acc = acc + 3;
+        }
+    }
+    print(acc);
+}`
+	c, err := interp.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := []int64{10000}
+	for _, mode := range []struct {
+		name  string
+		trace bool
+	}{{"plain", false}, {"traced", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				r := interp.Run(c, interp.Options{Input: input, BuildTrace: mode.trace})
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+				steps = r.Steps
+			}
+			b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msteps/s")
+		})
+	}
+}
+
+// BenchmarkScaling sweeps workload size on the grep analog: trace
+// construction (Graph mode) and the two slicers as the number of input
+// lines grows. This is the parameter-sweep view behind Table 2's size
+// columns and Table 4's cost columns.
+func BenchmarkScaling(b *testing.B) {
+	p := prep(b, "grepsim/V4-F2")
+	for _, lines := range []int{20, 100, 400} {
+		in := bench.ScaledGrepInput(lines)
+		run := interp.Run(p.Faulty, interp.Options{Input: in, BuildTrace: true})
+		if run.Err != nil {
+			b.Fatal(run.Err)
+		}
+		exp := interp.Run(p.Correct, interp.Options{Input: in})
+		seq, _, ok := slicing.FirstWrongOutput(run.OutputValues(), exp.OutputValues())
+		if !ok {
+			b.Fatalf("scaled input (%d lines) did not expose the fault", lines)
+		}
+		seed := slicing.FailureSeeds(run.Trace, seq)
+
+		b.Run(fmt.Sprintf("lines=%d/Graph", lines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := interp.Run(p.Faulty, interp.Options{Input: in, BuildTrace: true})
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+			b.ReportMetric(float64(run.Trace.Len()), "trace_entries")
+		})
+		b.Run(fmt.Sprintf("lines=%d/DS", lines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := ddg.New(run.Trace)
+				slicing.Dynamic(g, seed)
+			}
+		})
+		b.Run(fmt.Sprintf("lines=%d/RS", lines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cx := slicing.NewContext(p.Faulty, run.Trace)
+				g := ddg.New(run.Trace)
+				cx.Relevant(g, seed)
+			}
+		})
+	}
+}
+
+// BenchmarkPerturbationFallback measures the §5 extension against plain
+// switching verification on the Table 5(b) shape.
+func BenchmarkPerturbationFallback(b *testing.B) {
+	src := `
+func main() {
+    var A = read() * 0 + 5;
+    var X = 1;
+    if (A > 10) {
+        if (A > 100) {
+            X = 2;
+        }
+    }
+    print(X);
+}`
+	c, err := interp.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := []int64{200}
+	run := interp.Run(c, interp.Options{Input: input, BuildTrace: true})
+	if run.Err != nil {
+		b.Fatal(run.Err)
+	}
+	var aDef, pr int
+	for i := 0; i < run.Trace.Len(); i++ {
+		switch run.Trace.At(i).Inst.Stmt {
+		case 1:
+			aDef = i
+		case 6:
+			pr = i
+		}
+	}
+	b.Run("perturb", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := &implicit.Verifier{C: c, Input: input, Orig: run.Trace}
+			res := v.PerturbVerify(implicit.PerturbRequest{
+				Def: aDef, Use: pr, Candidates: []int64{9, 11, 99, 101},
+			})
+			if !res.Dependent {
+				b.Fatal("dependence not exposed")
+			}
+		}
+	})
+}

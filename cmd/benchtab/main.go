@@ -1,0 +1,62 @@
+// Command benchtab regenerates the paper's evaluation tables and this
+// reproduction's ablations over the built-in benchmark suite (MiniC
+// analogs of flex, grep, gzip, sed with nine seeded execution-omission
+// faults).
+//
+// Usage:
+//
+//	benchtab -table 1          benchmark characteristics (Table 1)
+//	benchtab -table 2          RS / DS / PS slice sizes   (Table 2)
+//	benchtab -table 3          locator effectiveness      (Table 3)
+//	benchtab -table 4          performance                (Table 4)
+//	benchtab -table all        all four tables
+//	benchtab -ablation A|B|C|D ablation experiments (see DESIGN.md)
+//	benchtab -reps N           timing repetitions for Table 4
+//	benchtab -cases            list the benchmark error cases
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"eol/internal/bench"
+	"eol/internal/cliutil"
+	"eol/internal/harness"
+)
+
+func main() {
+	tableFlag := flag.String("table", "", "table to regenerate: 1, 2, 3, 4 or all")
+	ablFlag := flag.String("ablation", "", "ablation to run: A, B, C or D")
+	repsFlag := flag.Int("reps", 20, "timing repetitions for Table 4")
+	casesFlag := flag.Bool("cases", false, "list benchmark error cases")
+	flag.Parse()
+
+	switch {
+	case *casesFlag:
+		for _, c := range bench.Cases() {
+			fmt.Printf("%-16s %s\n", c.Name(), c.Description)
+		}
+	case *ablFlag != "":
+		out, err := harness.RenderAblation(*ablFlag)
+		if err != nil {
+			cliutil.Fatalf("benchtab: %v", err)
+		}
+		fmt.Print(out)
+	case *tableFlag == "all":
+		for _, t := range []string{"1", "2", "3", "4"} {
+			out, err := harness.Render(t, *repsFlag)
+			if err != nil {
+				cliutil.Fatalf("benchtab: %v", err)
+			}
+			fmt.Println(out)
+		}
+	case *tableFlag != "":
+		out, err := harness.Render(*tableFlag, *repsFlag)
+		if err != nil {
+			cliutil.Fatalf("benchtab: %v", err)
+		}
+		fmt.Print(out)
+	default:
+		cliutil.Fatalf("usage: benchtab -table 1|2|3|4|all | -ablation A|B|C|D | -cases")
+	}
+}

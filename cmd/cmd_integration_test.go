@@ -1,0 +1,321 @@
+// Package cmd_test builds the command-line tools once and drives them
+// end-to-end on the Fig. 1 test programs — integration coverage for the
+// binaries themselves (flag parsing, file IO, output formats).
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+	repoRoot  string
+)
+
+// bin builds (once) and returns the path of the named tool.
+func bin(t *testing.T, name string) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		var err error
+		repoRoot, err = filepath.Abs("..")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binDir, err = os.MkdirTemp("", "eolbin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		for _, tool := range []string{"minic", "slicer", "eoloc", "benchtab"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			cmd.Dir = repoRoot
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return filepath.Join(binDir, name)
+}
+
+func runTool(t *testing.T, name string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin(t, name), args...)
+	cmd.Dir = repoRoot
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestMinicRun(t *testing.T) {
+	out, err := runTool(t, "minic", "-input", "1", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if out != "8\n0\n" {
+		t.Errorf("output = %q, want \"8\\n0\\n\"", out)
+	}
+}
+
+func TestMinicList(t *testing.T) {
+	out, err := runTool(t, "minic", "-list", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "S5") || !strings.Contains(out, "read() * 0") {
+		t.Errorf("listing missing statements:\n%s", out)
+	}
+}
+
+func TestMinicSwitch(t *testing.T) {
+	// Switching the first saveOrigName if (S8) repairs the flags byte.
+	out, err := runTool(t, "minic", "-input", "1", "-switch", "8:1", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.HasPrefix(out, "8\n8\n") {
+		t.Errorf("switched output = %q, want to start with \"8\\n8\\n\"", out)
+	}
+}
+
+func TestMinicPerturb(t *testing.T) {
+	out, err := runTool(t, "minic", "-input", "1", "-perturb", "5:1:1", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.HasPrefix(out, "8\n8\n") {
+		t.Errorf("perturbed output = %q", out)
+	}
+}
+
+func TestMinicBadFlags(t *testing.T) {
+	if out, err := runTool(t, "minic", "-switch", "zz", "testdata/fig1_faulty.mc"); err == nil {
+		t.Errorf("bad -switch accepted:\n%s", out)
+	}
+	if out, err := runTool(t, "minic", "nosuchfile.mc"); err == nil {
+		t.Errorf("missing file accepted:\n%s", out)
+	}
+	if out, err := runTool(t, "minic", "-input", "1", "-text", "a", "testdata/fig1_faulty.mc"); err == nil {
+		t.Errorf("conflicting inputs accepted:\n%s", out)
+	}
+}
+
+func TestSlicer(t *testing.T) {
+	out, err := runTool(t, "slicer",
+		"-correct", "testdata/fig1_fixed.mc", "-input", "1", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"wrong output #1: got 0, expected 8",
+		"DS (classic dynamic slice): 5 statements",
+		"RS (relevant slice): 8 statements",
+		"PS (confidence-pruned slice):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slicer output missing %q:\n%s", want, out)
+		}
+	}
+	// DS must not list the root cause; RS must.
+	dsPart := out[strings.Index(out, "DS ("):strings.Index(out, "RS (")]
+	if strings.Contains(dsPart, "saveOrigName = read() * 0") {
+		t.Error("DS lists the root cause")
+	}
+	rsPart := out[strings.Index(out, "RS ("):strings.Index(out, "PS (")]
+	if !strings.Contains(rsPart, "saveOrigName = read() * 0") {
+		t.Error("RS misses the root cause")
+	}
+}
+
+func TestSlicerDOT(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "g.dot")
+	out, err := runTool(t, "slicer",
+		"-correct", "testdata/fig1_fixed.mc", "-input", "1",
+		"-dot", dot, "-slices", "ds", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph ddg {") {
+		t.Errorf("DOT file malformed:\n%s", data)
+	}
+}
+
+func TestEoloc(t *testing.T) {
+	out, err := runTool(t, "eoloc",
+		"-correct", "testdata/fig1_fixed.mc", "-input", "1",
+		"-root", "read() * 0", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"ROOT CAUSE located: S5#1",
+		"1 implicit edges (1 strong)",
+		"final fault candidate set",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("eoloc output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEolocReport(t *testing.T) {
+	rpt := filepath.Join(t.TempDir(), "report.md")
+	out, err := runTool(t, "eoloc",
+		"-correct", "testdata/fig1_fixed.mc", "-input", "1",
+		"-root", "read() * 0", "-report", rpt, "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(rpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# Execution omission localization report") ||
+		!strings.Contains(string(data), "ROOT CAUSE") {
+		t.Errorf("report malformed:\n%s", data)
+	}
+}
+
+func TestBenchtabCases(t *testing.T) {
+	out, err := runTool(t, "benchtab", "-cases")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"flexsim/V1-F9", "grepsim/V4-F2", "gzipsim/V2-F3", "sedsim/V3-F2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("case list missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchtabTable1(t *testing.T) {
+	out, err := runTool(t, "benchtab", "-table", "1")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "flexsim") {
+		t.Errorf("table 1 output:\n%s", out)
+	}
+}
+
+func TestCritpredCLI(t *testing.T) {
+	// Build critpred too (not in the initial tool list).
+	cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, "critpred"), "./cmd/critpred")
+	cmd.Dir = repoRoot
+	bin(t, "minic") // ensure binDir exists
+	cmd = exec.Command("go", "build", "-o", filepath.Join(binDir, "critpred"), "./cmd/critpred")
+	cmd.Dir = repoRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build critpred: %v\n%s", err, out)
+	}
+	out, err := runTool(t, "critpred",
+		"-correct", "testdata/fig1_fixed.mc", "-input", "1", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "CRITICAL PREDICATE: S8#1") {
+		t.Errorf("critpred output:\n%s", out)
+	}
+	out, err = runTool(t, "critpred",
+		"-correct", "testdata/fig1_fixed.mc", "-input", "1",
+		"-strategy", "lefs", "testdata/fig1_faulty.mc")
+	if err != nil || !strings.Contains(out, "LEFS order") {
+		t.Errorf("lefs run: %v\n%s", err, out)
+	}
+}
+
+func TestEolshellSession(t *testing.T) {
+	cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, "eolshell"), "./cmd/eolshell")
+	bin(t, "minic") // ensure binDir exists
+	cmd = exec.Command("go", "build", "-o", filepath.Join(binDir, "eolshell"), "./cmd/eolshell")
+	cmd.Dir = repoRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build eolshell: %v\n%s", err, out)
+	}
+	// The paper's protocol: declare the chain corrupted (n), prune the
+	// benign rest (y), expand, list, quit.
+	sh := exec.Command(filepath.Join(binDir, "eolshell"),
+		"-correct", "testdata/fig1_fixed.mc", "-input", "1", "testdata/fig1_faulty.mc")
+	sh.Dir = repoRoot
+	sh.Stdin = strings.NewReader("n\nn\ny\ny\ny\ne\nl\nq\n")
+	out, err := sh.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"wrong output #1: got 0, expected 8",
+		"VerifyDep(S8#1 -> S12#1) = STRONG_ID",
+		"implicit edge(s) added",
+		"var saveOrigName = read() * 0;", // the root cause enters the list
+		"2 verifications performed",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("session transcript missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestEolshellExpectedFlag(t *testing.T) {
+	bin(t, "minic")
+	cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, "eolshell"), "./cmd/eolshell")
+	cmd.Dir = repoRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build eolshell: %v\n%s", err, out)
+	}
+	sh := exec.Command(filepath.Join(binDir, "eolshell"),
+		"-expected", "8,8", "-input", "1", "testdata/fig1_faulty.mc")
+	sh.Dir = repoRoot
+	sh.Stdin = strings.NewReader("q\n")
+	out, err := sh.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "wrong output #1") {
+		t.Errorf("transcript:\n%s", out)
+	}
+}
+
+func TestMinicCFGDot(t *testing.T) {
+	out, err := runTool(t, "minic", "-cfgdot", "main", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"digraph cfg_main {", "shape=diamond", "ENTRY", "EXIT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CFG DOT missing %q", want)
+		}
+	}
+	if out, err := runTool(t, "minic", "-cfgdot", "nosuchfn", "testdata/fig1_faulty.mc"); err == nil {
+		t.Errorf("unknown function accepted:\n%s", out)
+	}
+}
+
+func TestMinicSaveTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.gob")
+	out, err := runTool(t, "minic", "-input", "1", "-savetrace", path, "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "trace saved") {
+		t.Errorf("output:\n%s", out)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Errorf("trace file missing or empty: %v", err)
+	}
+}

@@ -1,0 +1,251 @@
+// Command eolshell is the interactive localization session the paper's
+// PruneSlicing procedure describes: "the system presents the statement
+// instances in the slice in an order and the programmer gives feedback to
+// the system if he considers the presented statement instance contains
+// benign program state."
+//
+// Usage:
+//
+//	eolshell -input "1" [-expected "8,8"] [-correct correct.mc] faulty.mc
+//
+// The expected output comes either from -expected or from running a
+// correct version. The session then loops:
+//
+//	[k] S12#1  C=0.000  outbuf[outcnt] = flags;
+//	benign state at S12#1? [y]es / [n]o / [e]xpand / [l]ist / [q]uit
+//
+//	y  - pin the instance at confidence 1 and re-rank
+//	n  - keep it as a fault candidate, present the next
+//	e  - verify the potential dependences of the top corrupted candidate
+//	     by predicate switching and add the verified implicit edges
+//	l  - print the current ranked candidate list
+//	q  - quit, printing the final fault candidate set
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eol/internal/cliutil"
+	"eol/internal/confidence"
+	"eol/internal/ddg"
+	"eol/internal/implicit"
+	"eol/internal/interp"
+	"eol/internal/lang/ast"
+	"eol/internal/slicing"
+	"eol/internal/trace"
+)
+
+func main() {
+	inputFlag := flag.String("input", "", "comma-separated integer input")
+	textFlag := flag.String("text", "", "input as the bytes of a string")
+	correctFlag := flag.String("correct", "", "path to the correct program version")
+	expectedFlag := flag.String("expected", "", "expected output values (overrides -correct)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		cliutil.Fatalf("usage: eolshell [-correct correct.mc | -expected \"8,8\"] -input ... faulty.mc")
+	}
+	input, err := cliutil.Input(*inputFlag, *textFlag)
+	if err != nil {
+		cliutil.Fatalf("eolshell: %v", err)
+	}
+	src, err := cliutil.LoadSource(flag.Arg(0))
+	if err != nil {
+		cliutil.Fatalf("eolshell: %v", err)
+	}
+	faulty, err := interp.Compile(src)
+	if err != nil {
+		cliutil.Fatalf("eolshell: %v", err)
+	}
+
+	var expected []int64
+	switch {
+	case *expectedFlag != "":
+		expected, err = cliutil.ParseInts(*expectedFlag)
+		if err != nil {
+			cliutil.Fatalf("eolshell: -expected: %v", err)
+		}
+	case *correctFlag != "":
+		csrc, err := cliutil.LoadSource(*correctFlag)
+		if err != nil {
+			cliutil.Fatalf("eolshell: %v", err)
+		}
+		correct, err := interp.Compile(csrc)
+		if err != nil {
+			cliutil.Fatalf("eolshell: %v", err)
+		}
+		r := interp.Run(correct, interp.Options{Input: input})
+		if r.Err != nil {
+			cliutil.Fatalf("eolshell: correct run: %v", r.Err)
+		}
+		expected = r.OutputValues()
+	default:
+		cliutil.Fatalf("eolshell: need -correct or -expected")
+	}
+
+	sh, err := newShell(faulty, input, expected)
+	if err != nil {
+		cliutil.Fatalf("eolshell: %v", err)
+	}
+	sh.loop(bufio.NewScanner(os.Stdin))
+}
+
+// shell drives one interactive session.
+type shell struct {
+	c   *interp.Compiled
+	tr  *trace.Trace
+	cx  *slicing.Context
+	an  *confidence.Analyzer
+	ver *implicit.Verifier
+
+	judged   map[int]bool // entries the user declared corrupted
+	expanded map[int]bool
+}
+
+func newShell(c *interp.Compiled, input, expected []int64) (*shell, error) {
+	run := interp.Run(c, interp.Options{Input: input, BuildTrace: true})
+	if run.Err != nil {
+		return nil, fmt.Errorf("failing run aborted: %w", run.Err)
+	}
+	seq, missing, ok := slicing.FirstWrongOutput(run.OutputValues(), expected)
+	if !ok {
+		return nil, fmt.Errorf("output matches the expected output; nothing to debug")
+	}
+	if missing {
+		return nil, fmt.Errorf("failure is a truncated output stream; need a wrong value")
+	}
+	tr := run.Trace
+	wrong := *tr.OutputAt(seq)
+	var correct []trace.Output
+	for i := 0; i < seq; i++ {
+		correct = append(correct, *tr.OutputAt(i))
+	}
+	g := ddg.New(tr)
+	an := confidence.New(c, g, nil, correct, wrong)
+	an.Compute()
+	ver := &implicit.Verifier{C: c, Input: input, Orig: tr, WrongOut: wrong}
+	if seq < len(expected) {
+		ver.Vexp, ver.HasVexp = expected[seq], true
+	}
+	fmt.Printf("wrong output #%d: got %d", seq, wrong.Value)
+	if ver.HasVexp {
+		fmt.Printf(", expected %d", ver.Vexp)
+	}
+	fmt.Printf(" (printed at %v)\n", tr.At(wrong.Entry).Inst)
+	return &shell{
+		c: c, tr: tr, cx: slicing.NewContext(c, tr), an: an, ver: ver,
+		judged: map[int]bool{}, expanded: map[int]bool{},
+	}, nil
+}
+
+func (sh *shell) stmtText(id int) string {
+	s := sh.c.Info.Stmt(id)
+	if s == nil {
+		return "?"
+	}
+	return ast.StmtString(s)
+}
+
+// nextUnjudged returns the top-ranked candidate awaiting a verdict.
+func (sh *shell) nextUnjudged() (confidence.Candidate, bool) {
+	for _, cand := range sh.an.FaultCandidates() {
+		if !sh.judged[cand.Entry] {
+			return cand, true
+		}
+	}
+	return confidence.Candidate{}, false
+}
+
+func (sh *shell) list() {
+	cands := sh.an.FaultCandidates()
+	fmt.Printf("fault candidates (%d, most suspicious first):\n", len(cands))
+	for i, cand := range cands {
+		mark := " "
+		if sh.judged[cand.Entry] {
+			mark = "×" // user-confirmed corrupted
+		}
+		inst := sh.tr.At(cand.Entry).Inst
+		fmt.Printf(" %s %2d. %-9v C=%.3f  %s\n", mark, i+1, inst, cand.Conf, sh.stmtText(inst.Stmt))
+	}
+}
+
+// expand verifies PD(u) of the top corrupted candidate and adds verified
+// edges.
+func (sh *shell) expand() {
+	for _, cand := range sh.an.FaultCandidates() {
+		if sh.expanded[cand.Entry] {
+			continue
+		}
+		sh.expanded[cand.Entry] = true
+		u := cand.Entry
+		pds := sh.cx.PotentialDeps(u)
+		if len(pds) == 0 {
+			fmt.Printf("no potential dependences at %v; trying the next candidate\n", sh.tr.At(u).Inst)
+			continue
+		}
+		added := 0
+		for _, pd := range pds {
+			verdict := sh.ver.Verify(implicit.Request{
+				Pred: pd.Pred, Use: u, UseSym: pd.UseSym, UseElem: pd.UseElem,
+			})
+			pi := sh.tr.At(pd.Pred).Inst
+			fmt.Printf("  VerifyDep(%v -> %v) = %v\n", pi, sh.tr.At(u).Inst, verdict)
+			switch verdict {
+			case implicit.StrongID:
+				sh.an.G.AddEdge(u, pd.Pred, ddg.StrongImplicit)
+				added++
+			case implicit.ID:
+				sh.an.G.AddEdge(u, pd.Pred, ddg.Implicit)
+				added++
+			}
+		}
+		if added > 0 {
+			sh.an.Compute()
+			fmt.Printf("%d implicit edge(s) added; slice re-pruned\n", added)
+			return
+		}
+	}
+	fmt.Println("no candidate produced verified edges")
+}
+
+func (sh *shell) loop(in *bufio.Scanner) {
+	for {
+		cand, ok := sh.nextUnjudged()
+		if !ok {
+			fmt.Println("every candidate is confirmed corrupted; [e]xpand, [l]ist or [q]uit")
+		} else {
+			inst := sh.tr.At(cand.Entry).Inst
+			fmt.Printf("benign state at %v  C=%.3f  %s ? [y/n/e/l/q] ",
+				inst, cand.Conf, sh.stmtText(inst.Stmt))
+		}
+		if !in.Scan() {
+			break
+		}
+		switch strings.ToLower(strings.TrimSpace(in.Text())) {
+		case "y", "yes":
+			if ok {
+				sh.an.MarkBenign(cand.Entry)
+				sh.an.Compute()
+			}
+		case "n", "no":
+			if ok {
+				sh.judged[cand.Entry] = true
+			}
+		case "e", "expand":
+			sh.expand()
+		case "l", "list":
+			sh.list()
+		case "q", "quit", "":
+			fmt.Println("final state:")
+			sh.list()
+			fmt.Printf("%d verifications performed\n", sh.ver.Verifications)
+			return
+		default:
+			fmt.Println("commands: y(es) n(o) e(xpand) l(ist) q(uit)")
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command slicer computes the paper's three slices — classic dynamic
+// slice (DS), relevant slice (RS), and confidence-pruned slice (PS) — for
+// a failing run of a MiniC program.
+//
+// Usage:
+//
+//	slicer -correct correct.mc [flags] faulty.mc
+//
+//	-input "1,2,3"    integer input stream (failing input)
+//	-text "abc"       input as the bytes of a string
+//	-slices ds,rs,ps  which slices to print (default all)
+//	-instances        list statement instances, not just statistics
+//	-dot FILE         write the relevant-slice dependence graph (with
+//	                  potential edges) as Graphviz DOT
+//
+// The correct version supplies the expected output; the first differing
+// value is the wrong output the slices are computed from.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eol/internal/cliutil"
+	"eol/internal/confidence"
+	"eol/internal/ddg"
+	"eol/internal/interp"
+	"eol/internal/lang/ast"
+	"eol/internal/slicing"
+	"eol/internal/trace"
+)
+
+func main() {
+	inputFlag := flag.String("input", "", "comma-separated integer input")
+	textFlag := flag.String("text", "", "input as the bytes of a string")
+	correctFlag := flag.String("correct", "", "path to the correct program version")
+	slicesFlag := flag.String("slices", "ds,rs,ps", "which slices to print")
+	instFlag := flag.Bool("instances", false, "list statement instances")
+	dotFlag := flag.String("dot", "", "write the RS dependence graph as DOT to this file")
+	flag.Parse()
+
+	if flag.NArg() != 1 || *correctFlag == "" {
+		cliutil.Fatalf("usage: slicer -correct correct.mc [flags] faulty.mc (see -h)")
+	}
+	input, err := cliutil.Input(*inputFlag, *textFlag)
+	if err != nil {
+		cliutil.Fatalf("slicer: %v", err)
+	}
+
+	faulty := mustCompile(flag.Arg(0))
+	correct := mustCompile(*correctFlag)
+
+	expRun := interp.Run(correct, interp.Options{Input: input})
+	if expRun.Err != nil {
+		cliutil.Fatalf("slicer: correct run: %v", expRun.Err)
+	}
+	run := interp.Run(faulty, interp.Options{Input: input, BuildTrace: true})
+	if run.Err != nil {
+		cliutil.Fatalf("slicer: faulty run: %v", run.Err)
+	}
+
+	seq, missing, ok := slicing.FirstWrongOutput(run.OutputValues(), expRun.OutputValues())
+	if !ok {
+		cliutil.Fatalf("slicer: outputs match; nothing to slice")
+	}
+	if missing {
+		cliutil.Fatalf("slicer: failure is a truncated output stream; need a wrong value")
+	}
+	o := run.Trace.OutputAt(seq)
+	fmt.Printf("wrong output #%d: got %d, expected %d (at %v)\n",
+		seq, o.Value, expRun.OutputValues()[seq], run.Trace.At(o.Entry).Inst)
+
+	cx := slicing.NewContext(faulty, run.Trace)
+	seed := slicing.FailureSeeds(run.Trace, seq)
+
+	if *dotFlag != "" {
+		g := ddg.New(run.Trace)
+		set := cx.Relevant(g, seed)
+		f, err := os.Create(*dotFlag)
+		if err != nil {
+			cliutil.Fatalf("slicer: %v", err)
+		}
+		err = g.WriteDOT(f, ddg.DOTOptions{
+			Only:      set,
+			Highlight: map[int]bool{seed: true},
+			Label: func(i int) string {
+				e := run.Trace.At(i)
+				return fmt.Sprintf("%v %s", e.Inst, ast.StmtString(faulty.Info.Stmt(e.Inst.Stmt)))
+			},
+		})
+		cerr := f.Close()
+		if err != nil || cerr != nil {
+			cliutil.Fatalf("slicer: writing DOT: %v %v", err, cerr)
+		}
+		fmt.Printf("wrote RS dependence graph to %s\n", *dotFlag)
+	}
+
+	for _, which := range strings.Split(*slicesFlag, ",") {
+		switch strings.TrimSpace(strings.ToLower(which)) {
+		case "ds":
+			g := ddg.New(run.Trace)
+			set := slicing.Dynamic(g, seed)
+			printSlice(faulty, run.Trace, "DS (classic dynamic slice)", g, set, *instFlag)
+		case "rs":
+			g := ddg.New(run.Trace)
+			set := cx.Relevant(g, seed)
+			printSlice(faulty, run.Trace, "RS (relevant slice)", g, set, *instFlag)
+		case "ps":
+			g := ddg.New(run.Trace)
+			var correctOuts []trace.Output
+			for i := 0; i < seq; i++ {
+				correctOuts = append(correctOuts, *run.Trace.OutputAt(i))
+			}
+			an := confidence.New(faulty, g, nil, correctOuts, *o)
+			an.Compute()
+			set := map[int]bool{}
+			for _, cand := range an.FaultCandidates() {
+				set[cand.Entry] = true
+			}
+			printSlice(faulty, run.Trace, "PS (confidence-pruned slice)", g, set, *instFlag)
+		default:
+			cliutil.Fatalf("slicer: unknown slice kind %q", which)
+		}
+	}
+}
+
+func mustCompile(path string) *interp.Compiled {
+	src, err := cliutil.LoadSource(path)
+	if err != nil {
+		cliutil.Fatalf("slicer: %v", err)
+	}
+	c, err := interp.Compile(src)
+	if err != nil {
+		cliutil.Fatalf("slicer: %s: %v", path, err)
+	}
+	return c
+}
+
+func printSlice(c *interp.Compiled, tr *trace.Trace, title string, g *ddg.Graph, set map[int]bool, insts bool) {
+	stats := g.Stats(set)
+	fmt.Printf("\n%s: %d statements, %d instances\n", title, stats.Static, stats.Dynamic)
+	if insts {
+		for _, i := range ddg.SortedEntries(set) {
+			e := tr.At(i)
+			fmt.Printf("  %-9v %s\n", e.Inst, ast.StmtString(c.Info.Stmt(e.Inst.Stmt)))
+		}
+		return
+	}
+	seen := map[int]bool{}
+	for _, i := range ddg.SortedEntries(set) {
+		id := tr.At(i).Inst.Stmt
+		if !seen[id] {
+			seen[id] = true
+			fmt.Printf("  S%-4d %s\n", id, ast.StmtString(c.Info.Stmt(id)))
+		}
+	}
+}

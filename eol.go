@@ -1,0 +1,613 @@
+// Package eol (Execution Omission Locator) is the public API of this
+// reproduction of "Towards Locating Execution Omission Errors" (Zhang,
+// Tallam, Gupta, Gupta — PLDI 2007).
+//
+// The package compiles MiniC programs (the deterministic C-like language
+// that serves as the execution substrate; see DESIGN.md), executes them
+// with full dependence tracing, and exposes the paper's analyses:
+//
+//   - classic dynamic slicing and relevant slicing (the baselines),
+//   - implicit-dependence verification by predicate switching
+//     (Definitions 2 and 4, with region-based execution alignment), and
+//   - the demand-driven fault locator (Algorithm 2) with confidence-based
+//     pruning.
+//
+// Typical use:
+//
+//	p := eol.MustCompile(src)
+//	s, err := eol.NewSession(p, failingInput, expectedOutput)
+//	diag, err := s.Locate()
+//	if diag.Located { fmt.Println(diag.Explain()) }
+package eol
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"eol/internal/align"
+	"eol/internal/confidence"
+	"eol/internal/core"
+	"eol/internal/ddg"
+	"eol/internal/implicit"
+	"eol/internal/interp"
+	"eol/internal/lang/ast"
+	"eol/internal/oracle"
+	"eol/internal/slicing"
+	"eol/internal/trace"
+)
+
+// Instance identifies a statement instance: the Occ-th execution of the
+// statement with ID Stmt (the paper's "S15(2)" notation).
+type Instance = trace.Instance
+
+// Program is a compiled MiniC program.
+type Program struct {
+	c *interp.Compiled
+}
+
+// Compile parses, checks and prepares a MiniC program.
+func Compile(src string) (*Program, error) {
+	c, err := interp.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{c: c}, nil
+}
+
+// MustCompile is Compile that panics on error; for tests and examples.
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Source returns the program text.
+func (p *Program) Source() string { return p.c.Src }
+
+// NumStatements returns the number of numbered statements.
+func (p *Program) NumStatements() int { return p.c.Info.NumStmts() }
+
+// StatementText renders statement id as one line of source ("" if
+// unknown).
+func (p *Program) StatementText(id int) string {
+	s := p.c.Info.Stmt(id)
+	if s == nil {
+		return ""
+	}
+	return ast.StmtString(s)
+}
+
+// FindStatement returns the ID of the first statement whose rendering
+// contains frag.
+func (p *Program) FindStatement(frag string) (int, bool) {
+	for _, s := range p.c.Info.Stmts {
+		if strings.Contains(ast.StmtString(s), frag) {
+			return s.ID(), true
+		}
+	}
+	return 0, false
+}
+
+// Listing renders the program with S<n> statement labels.
+func (p *Program) Listing() string {
+	var sb strings.Builder
+	for _, s := range p.c.Info.Stmts {
+		fmt.Fprintf(&sb, "S%-4d %s\n", s.ID(), ast.StmtString(s))
+	}
+	return sb.String()
+}
+
+// Execution is one completed run of a program.
+type Execution struct {
+	p   *Program
+	res *interp.Result
+}
+
+// Run executes the program with full dependence tracing.
+func (p *Program) Run(input []int64) (*Execution, error) {
+	res := interp.Run(p.c, interp.Options{Input: input, BuildTrace: true})
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return &Execution{p: p, res: res}, nil
+}
+
+// RunPlain executes without tracing (the paper's "Plain" mode).
+func (p *Program) RunPlain(input []int64) (*Execution, error) {
+	res := interp.Run(p.c, interp.Options{Input: input})
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return &Execution{p: p, res: res}, nil
+}
+
+// RunSwitched re-executes with the given predicate instance's branch
+// outcome inverted (the paper's predicate switching).
+func (p *Program) RunSwitched(input []int64, pred Instance) (*Execution, error) {
+	res := interp.Run(p.c, interp.Options{
+		Input: input, BuildTrace: true,
+		Switch: &interp.SwitchPlan{Stmt: pred.Stmt, Occ: pred.Occ},
+	})
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return &Execution{p: p, res: res}, nil
+}
+
+// Outputs returns the printed int values in order.
+func (e *Execution) Outputs() []int64 { return e.res.OutputValues() }
+
+// Rendered returns the formatted program output.
+func (e *Execution) Rendered() string { return e.res.Rendered }
+
+// Steps returns the number of executed statement instances.
+func (e *Execution) Steps() int { return e.res.Steps }
+
+// Instances returns every executed instance in order (traced runs only).
+func (e *Execution) Instances() []Instance {
+	if e.res.Trace == nil {
+		return nil
+	}
+	insts := make([]Instance, e.res.Trace.Len())
+	for i := 0; i < e.res.Trace.Len(); i++ {
+		insts[i] = e.res.Trace.At(i).Inst
+	}
+	return insts
+}
+
+// ---------------------------------------------------------------------------
+// Failure-analysis session
+
+// ErrNoFailure is returned by NewSession when the output matches.
+var ErrNoFailure = errors.New("eol: output matches the expected output")
+
+// Session analyzes one failing execution of a program.
+type Session struct {
+	p        *Program
+	input    []int64
+	expected []int64
+	run      *interp.Result
+	seq      int
+	cx       *slicing.Context
+	profile  *confidence.Profile
+
+	oracle    core.Oracle
+	pathMode  bool
+	perturbFB bool
+	crossFn   bool
+	maxIter   int
+	roots     []int
+}
+
+// NewSession runs the program on input, compares against the expected
+// output values, and prepares the analyses. It returns ErrNoFailure when
+// the outputs match, and an error for truncated-output failures (the
+// technique slices from a wrong value).
+func NewSession(p *Program, input, expected []int64) (*Session, error) {
+	run := interp.Run(p.c, interp.Options{Input: input, BuildTrace: true})
+	if run.Err != nil {
+		return nil, fmt.Errorf("eol: failing run aborted: %w", run.Err)
+	}
+	seq, missing, ok := slicing.FirstWrongOutput(run.OutputValues(), expected)
+	if !ok {
+		return nil, ErrNoFailure
+	}
+	if missing {
+		return nil, core.ErrMissingOutput
+	}
+	return &Session{
+		p: p, input: input, expected: expected,
+		run: run, seq: seq,
+		cx:      slicing.NewContext(p.c, run.Trace),
+		profile: confidence.NewProfile(),
+	}, nil
+}
+
+// WrongOutput describes the failure observation: the sequence number of
+// the first wrong output, the value printed, the expected value, and the
+// producing instance. For an extra-output failure (the program printed
+// more values than expected) the want value is reported as 0.
+func (s *Session) WrongOutput() (seq int, got, want int64, at Instance) {
+	o := s.run.Trace.OutputAt(s.seq)
+	if s.seq < len(s.expected) {
+		want = s.expected[s.seq]
+	}
+	return s.seq, o.Value, want, s.run.Trace.At(o.Entry).Inst
+}
+
+// AddProfileRun executes the program on a passing input and records the
+// value profile used by confidence analysis.
+func (s *Session) AddProfileRun(input []int64) error {
+	r := interp.Run(s.p.c, interp.Options{Input: input, BuildTrace: true})
+	if r.Err != nil {
+		return r.Err
+	}
+	s.profile.AddTrace(r.Trace)
+	return nil
+}
+
+// Slice is a slice result in the paper's static/dynamic terms.
+type Slice struct {
+	// Static is the number of unique statements; Dynamic the number of
+	// statement instances.
+	Static, Dynamic int
+	// Statements lists the unique statement IDs.
+	Statements []int
+	// Instances lists the statement instances, in execution order.
+	Instances []Instance
+}
+
+// ContainsStmt reports whether the slice includes statement id.
+func (sl Slice) ContainsStmt(id int) bool {
+	for _, s := range sl.Statements {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Session) newSlice(g *ddg.Graph, set map[int]bool) Slice {
+	sl := Slice{}
+	stmts := map[int]bool{}
+	for _, i := range ddg.SortedEntries(set) {
+		e := s.run.Trace.At(i)
+		sl.Instances = append(sl.Instances, e.Inst)
+		stmts[e.Inst.Stmt] = true
+	}
+	for id := range stmts {
+		sl.Statements = append(sl.Statements, id)
+	}
+	sl.Static = len(stmts)
+	sl.Dynamic = len(sl.Instances)
+	return sl
+}
+
+// DynamicSlice computes the classic dynamic slice of the wrong output.
+func (s *Session) DynamicSlice() Slice {
+	g := ddg.New(s.run.Trace)
+	set := slicing.Dynamic(g, slicing.FailureSeeds(s.run.Trace, s.seq))
+	return s.newSlice(g, set)
+}
+
+// RelevantSlice computes the relevant slice (dynamic + potential
+// dependences, Definition 1) of the wrong output.
+func (s *Session) RelevantSlice() Slice {
+	g := ddg.New(s.run.Trace)
+	set := s.cx.Relevant(g, slicing.FailureSeeds(s.run.Trace, s.seq))
+	return s.newSlice(g, set)
+}
+
+// PotentialDependences returns the predicate instances that the given
+// use instance potentially depends on (Definition 1).
+func (s *Session) PotentialDependences(use Instance) []Instance {
+	idx := s.run.Trace.FindInstance(use)
+	if idx < 0 {
+		return nil
+	}
+	var res []Instance
+	seen := map[Instance]bool{}
+	for _, pd := range s.cx.PotentialDeps(idx) {
+		inst := s.run.Trace.At(pd.Pred).Inst
+		if !seen[inst] {
+			seen[inst] = true
+			res = append(res, inst)
+		}
+	}
+	return res
+}
+
+// Verdict classifies a verified dependence.
+type Verdict int
+
+// Verdicts, strongest last.
+const (
+	NotImplicit Verdict = iota
+	Implicit
+	StrongImplicit
+)
+
+// String names the verdict in the paper's notation.
+func (v Verdict) String() string {
+	switch v {
+	case Implicit:
+		return "ID"
+	case StrongImplicit:
+		return "STRONG_ID"
+	}
+	return "NOT_ID"
+}
+
+// VerifyImplicitDependence re-executes with pred's branch switched and
+// classifies the dependence of use (through the named variable) on pred,
+// per Definitions 2 and 4.
+func (s *Session) VerifyImplicitDependence(pred, use Instance, variable string) (Verdict, error) {
+	sym := -1
+	for _, symbol := range s.p.c.Info.Symbols {
+		if symbol.Name == variable {
+			sym = symbol.ID
+			break
+		}
+	}
+	if sym < 0 {
+		return NotImplicit, fmt.Errorf("eol: unknown variable %q", variable)
+	}
+	pIdx := s.run.Trace.FindInstance(pred)
+	uIdx := s.run.Trace.FindInstance(use)
+	if pIdx < 0 || uIdx < 0 {
+		return NotImplicit, fmt.Errorf("eol: instance not in the failing trace")
+	}
+	// Find the element actually read for that symbol.
+	elem := trace.ScalarElem
+	for _, u := range s.run.Trace.At(uIdx).Uses {
+		if u.Sym == sym {
+			elem = u.Elem
+			break
+		}
+	}
+	v := &implicit.Verifier{
+		C: s.p.c, Input: s.input, Orig: s.run.Trace,
+		WrongOut: *s.run.Trace.OutputAt(s.seq),
+		PathMode: s.pathMode,
+	}
+	if s.seq < len(s.expected) {
+		v.Vexp, v.HasVexp = s.expected[s.seq], true
+	}
+	verdict := v.Verify(implicit.Request{Pred: pIdx, Use: uIdx, UseSym: sym, UseElem: elem})
+	return Verdict(verdict), nil
+}
+
+// ---------------------------------------------------------------------------
+// Localization
+
+// LocateOption configures Locate.
+type LocateOption func(*Session)
+
+// WithRootCause tells the locator which statement IDs constitute the
+// fault, so the search can stop as soon as one enters the candidate set.
+func WithRootCause(stmts ...int) LocateOption {
+	return func(s *Session) { s.roots = stmts }
+}
+
+// WithOracle supplies the benign-state judge (the interactive programmer
+// of Algorithm 2): it receives an instance and the statement's source
+// text and reports whether the program state there is correct.
+func WithOracle(f func(inst Instance, stmtText string) bool) LocateOption {
+	return func(s *Session) { s.oracle = funcOracle{p: s.p, f: f} }
+}
+
+// WithPathMode selects the safe explicit-path variant of VerifyDep.
+func WithPathMode() LocateOption {
+	return func(s *Session) { s.pathMode = true }
+}
+
+// WithMaxIterations bounds the expansion loop.
+func WithMaxIterations(n int) LocateOption {
+	return func(s *Session) { s.maxIter = n }
+}
+
+type funcOracle struct {
+	p *Program
+	f func(Instance, string) bool
+}
+
+func (o funcOracle) IsBenign(t *trace.Trace, entry int) bool {
+	inst := t.At(entry).Inst
+	return o.f(inst, o.p.StatementText(inst.Stmt))
+}
+
+// Candidate is one ranked fault candidate of the final slice.
+type Candidate struct {
+	Instance   Instance
+	Statement  string
+	Confidence float64
+}
+
+// Diagnosis is the outcome of the demand-driven localization.
+type Diagnosis struct {
+	// Located reports whether a root-cause instance entered the
+	// candidate set (requires WithRootCause).
+	Located bool
+	// Root is the located root-cause instance.
+	Root Instance
+	// Candidates is the final pruned expanded slice (IPS), ranked most
+	// suspicious first.
+	Candidates []Candidate
+	// Counters in the paper's Table 3 terms.
+	UserPrunings  int
+	Verifications int
+	Iterations    int
+	ExpandedEdges int
+	// StrongEdges / ImplicitEdges count the verified edges added.
+	StrongEdges, ImplicitEdges int
+
+	program *Program
+}
+
+// Explain renders a human-readable summary of the diagnosis.
+func (d *Diagnosis) Explain() string {
+	var sb strings.Builder
+	if d.Located {
+		fmt.Fprintf(&sb, "root cause located at %v: %s\n",
+			d.Root, d.program.StatementText(d.Root.Stmt))
+	} else {
+		fmt.Fprintf(&sb, "root cause not located\n")
+	}
+	fmt.Fprintf(&sb, "%d user prunings, %d verifications, %d iterations, %d implicit edges (%d strong)\n",
+		d.UserPrunings, d.Verifications, d.Iterations, d.ExpandedEdges, d.StrongEdges)
+	fmt.Fprintf(&sb, "fault candidates (most suspicious first):\n")
+	for i, c := range d.Candidates {
+		if i >= 10 {
+			fmt.Fprintf(&sb, "  ... and %d more\n", len(d.Candidates)-i)
+			break
+		}
+		fmt.Fprintf(&sb, "  %-8v C=%.3f  %s\n", c.Instance, c.Confidence, c.Statement)
+	}
+	return sb.String()
+}
+
+// Locate runs the demand-driven localization procedure (Algorithm 2).
+func (s *Session) Locate(opts ...LocateOption) (*Diagnosis, error) {
+	for _, o := range opts {
+		o(s)
+	}
+	spec := &core.Spec{
+		Program:         s.p.c,
+		Input:           s.input,
+		Expected:        s.expected,
+		RootCause:       s.roots,
+		Oracle:          s.oracle,
+		Profile:         s.profile,
+		MaxIterations:   s.maxIter,
+		PathMode:        s.pathMode,
+		PerturbFallback: s.perturbFB,
+		CrossFunctionPD: s.crossFn,
+	}
+	rep, err := core.Locate(spec)
+	if err != nil {
+		return nil, err
+	}
+	d := &Diagnosis{
+		Located:       rep.Located,
+		UserPrunings:  rep.UserPrunings,
+		Verifications: rep.Verifications,
+		Iterations:    rep.Iterations,
+		ExpandedEdges: rep.ExpandedEdges,
+		StrongEdges:   rep.Graph.NumExtraEdges(ddg.StrongImplicit),
+		ImplicitEdges: rep.Graph.NumExtraEdges(ddg.Implicit),
+		program:       s.p,
+	}
+	if rep.Located {
+		d.Root = rep.Trace.At(rep.RootEntry).Inst
+	}
+	// The report's IPS entries come ranked from the analyzer.
+	for i, e := range rep.IPSEntries {
+		inst := rep.Trace.At(e).Inst
+		d.Candidates = append(d.Candidates, Candidate{
+			Instance:   inst,
+			Statement:  s.p.StatementText(inst.Stmt),
+			Confidence: rep.IPSConfidence[i],
+		})
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
+// Alignment and pruning, exposed for exploration
+
+// AlignPoint finds the point in the switched execution that corresponds
+// to `point` in the original execution, given that `switched` was
+// produced by RunSwitched with predicate instance pred (Algorithm 1 of
+// the paper). ok == false means no corresponding point exists — itself
+// evidence of an implicit dependence (Definition 2 condition (i)).
+func AlignPoint(orig, switched *Execution, pred, point Instance) (Instance, bool) {
+	if orig.res.Trace == nil || switched.res.Trace == nil {
+		return Instance{}, false
+	}
+	u := orig.res.Trace.FindInstance(point)
+	if u < 0 {
+		return Instance{}, false
+	}
+	return align.MatchInstance(orig.res.Trace, switched.res.Trace, pred, u)
+}
+
+// PrunedSlice runs confidence analysis over the failing run (without any
+// interactive pruning) and returns the pruned dynamic slice as a ranked
+// candidate list — the paper's PS. Profile runs added with AddProfileRun
+// sharpen the fractional confidences.
+func (s *Session) PrunedSlice() []Candidate {
+	g := ddg.New(s.run.Trace)
+	var correct []trace.Output
+	for i := 0; i < s.seq; i++ {
+		correct = append(correct, *s.run.Trace.OutputAt(i))
+	}
+	an := confidence.New(s.p.c, g, s.profile, correct, *s.run.Trace.OutputAt(s.seq))
+	an.Compute()
+	var res []Candidate
+	for _, cand := range an.FaultCandidates() {
+		inst := s.run.Trace.At(cand.Entry).Inst
+		res = append(res, Candidate{
+			Instance:   inst,
+			Statement:  s.p.StatementText(inst.Stmt),
+			Confidence: cand.Conf,
+		})
+	}
+	return res
+}
+
+// Confidence returns the confidence value of one instance in the failing
+// run under automatic (non-interactive) confidence analysis.
+func (s *Session) Confidence(inst Instance) (float64, bool) {
+	idx := s.run.Trace.FindInstance(inst)
+	if idx < 0 {
+		return 0, false
+	}
+	g := ddg.New(s.run.Trace)
+	var correct []trace.Output
+	for i := 0; i < s.seq; i++ {
+		correct = append(correct, *s.run.Trace.OutputAt(i))
+	}
+	an := confidence.New(s.p.c, g, s.profile, correct, *s.run.Trace.OutputAt(s.seq))
+	an.Compute()
+	return an.Confidence(idx), true
+}
+
+// WithCorrectVersion supplies the correct program version as the
+// benign-state oracle: an instance is benign iff its produced value, read
+// values, branch outcome and outputs match the corresponding instance of
+// the correct version's run on the same input (matched by a lockstep walk
+// over the region trees). This mechanizes the paper's interactive
+// protocol with ground truth and is what the evaluation harness uses.
+// The correct version must be structurally identical (expression-level
+// fault) for the pairing to be meaningful.
+func WithCorrectVersion(correct *Program) LocateOption {
+	return func(s *Session) {
+		res := interp.Run(correct.c, interp.Options{Input: s.input, BuildTrace: true})
+		if res.Err != nil || res.Trace == nil {
+			return
+		}
+		s.oracle = &oracle.StateOracle{Correct: res.Trace}
+	}
+}
+
+// WithCrossFunctionPD extends potential dependences across function
+// boundaries for global variables, so omissions inside callees become
+// reachable (removes the intraprocedural limitation at the cost of more
+// verification candidates).
+func WithCrossFunctionPD() LocateOption {
+	return func(s *Session) { s.crossFn = true }
+}
+
+// WithPerturbFallback enables the value-perturbation fallback (the
+// paper's §5 proposal): when predicate switching exposes no implicit
+// dependence — the nested-predicate soundness gap of Table 5(b) — the
+// locator perturbs the values feeding the candidate predicates across
+// comparison boundaries and the value profile instead.
+func WithPerturbFallback() LocateOption {
+	return func(s *Session) { s.perturbFB = true }
+}
+
+// VerifyByPerturbation checks whether `use` depends on the *definition*
+// instance `def` by re-executing with def's value replaced by each
+// candidate (the §5 alternative to predicate switching). It reports
+// whether a dependence was exposed, the witnessing value, and the number
+// of re-executions spent.
+func (s *Session) VerifyByPerturbation(def, use Instance, candidates []int64) (dependent bool, witness int64, reexecutions int, err error) {
+	d := s.run.Trace.FindInstance(def)
+	u := s.run.Trace.FindInstance(use)
+	if d < 0 || u < 0 {
+		return false, 0, 0, fmt.Errorf("eol: instance not in the failing trace")
+	}
+	v := &implicit.Verifier{
+		C: s.p.c, Input: s.input, Orig: s.run.Trace,
+		WrongOut: *s.run.Trace.OutputAt(s.seq),
+	}
+	if s.seq < len(s.expected) {
+		v.Vexp, v.HasVexp = s.expected[s.seq], true
+	}
+	res := v.PerturbVerify(implicit.PerturbRequest{Def: d, Use: u, Candidates: candidates})
+	return res.Dependent, res.Witness, res.Reexecutions, nil
+}

@@ -1,0 +1,100 @@
+package eol_test
+
+import (
+	"fmt"
+
+	"eol"
+)
+
+// The paper's Figure 1 scenario, used by all examples below.
+const faultyGzip = `
+var flags;
+var outbuf[8];
+var outcnt;
+
+func main() {
+    var deflated = 8;
+    var saveOrigName = read() * 0;  // ROOT CAUSE: should be read()
+    flags = 0;
+    var method = deflated;
+    if (saveOrigName) {
+        flags = flags | 8;
+    }
+    outbuf[outcnt] = method;
+    outcnt = outcnt + 1;
+    outbuf[outcnt] = flags;
+    outcnt = outcnt + 1;
+    if (saveOrigName) {
+        outbuf[outcnt] = 99;
+        outcnt = outcnt + 1;
+    }
+    print(outbuf[0]);
+    print(outbuf[1]);
+}
+`
+
+func ExampleCompile() {
+	p, err := eol.Compile(`func main() { print(6 * 7); }`)
+	if err != nil {
+		panic(err)
+	}
+	run, _ := p.Run(nil)
+	fmt.Println(run.Outputs())
+	// Output: [42]
+}
+
+func ExampleSession_DynamicSlice() {
+	p := eol.MustCompile(faultyGzip)
+	s, _ := eol.NewSession(p, []int64{1}, []int64{8, 8})
+
+	root, _ := p.FindStatement("read() * 0")
+	ds := s.DynamicSlice()
+	rs := s.RelevantSlice()
+	fmt.Printf("DS contains root cause: %v\n", ds.ContainsStmt(root))
+	fmt.Printf("RS contains root cause: %v\n", rs.ContainsStmt(root))
+	// Output:
+	// DS contains root cause: false
+	// RS contains root cause: true
+}
+
+func ExampleSession_VerifyImplicitDependence() {
+	p := eol.MustCompile(faultyGzip)
+	s, _ := eol.NewSession(p, []int64{1}, []int64{8, 8})
+
+	ifID, _ := p.FindStatement("if (saveOrigName)")
+	useID, _ := p.FindStatement("outbuf[outcnt] = flags")
+	v, _ := s.VerifyImplicitDependence(
+		eol.Instance{Stmt: ifID, Occ: 1},
+		eol.Instance{Stmt: useID, Occ: 1},
+		"flags")
+	fmt.Println(v)
+	// Output: STRONG_ID
+}
+
+func ExampleSession_Locate() {
+	faulty := eol.MustCompile(faultyGzip)
+	correct := eol.MustCompile(faultyGzip[:0] +
+		// the fixed version: the same program with the fault repaired
+		replaceOnce(faultyGzip, "read() * 0", "read()"))
+
+	s, _ := eol.NewSession(faulty, []int64{1}, []int64{8, 8})
+	root, _ := faulty.FindStatement("read() * 0")
+	diag, _ := s.Locate(
+		eol.WithRootCause(root),
+		eol.WithCorrectVersion(correct),
+	)
+	fmt.Printf("located: %v at %v\n", diag.Located, diag.Root)
+	fmt.Printf("iterations: %d, strong edges: %d\n", diag.Iterations, diag.StrongEdges)
+	// Output:
+	// located: true at S5#1
+	// iterations: 1, strong edges: 1
+}
+
+func replaceOnce(s, old, new string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new + s[i+len(old):]
+		}
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+// The alignment example demonstrates the region-based execution
+// alignment algorithm (Algorithm 1, Figures 2 and 3 of the paper):
+// matching a point of the original run in a predicate-switched re-run,
+// across inserted loop iterations, and detecting when no match exists.
+//
+// Run with:
+//
+//	go run ./examples/alignment
+package main
+
+import (
+	"fmt"
+
+	"eol"
+)
+
+// fig2Src mirrors the paper's Figure 2: if(P) guards definitions that a
+// later doubly-nested use reads; a while loop sits in between.
+const fig2Src = `
+func main() {
+    var i = 0;
+    var t = 0;
+    var x = 0;
+    var P = read();
+    var C1 = read();
+    var C2 = read();
+    if (P) {
+        t = 1;
+        x = 5;
+    }
+    while (i < t) {
+        var w = 1;
+        if (C1) {
+            w = 2;
+        }
+        i = i + 1;
+    }
+    if (1) {
+        if (C2 == 0) {
+            print(x);
+        }
+        var z = 9;
+    }
+}
+`
+
+// fig2BSrc is the paper's execution (3): the switched branch also flips
+// C2, so print(x) has no counterpart in the switched run.
+const fig2BSrc = `
+func main() {
+    var i = 0;
+    var t = 0;
+    var x = 0;
+    var P = read();
+    var C1 = read();
+    var C2 = read();
+    if (P) {
+        t = 1;
+        C2 = 1;
+        x = 5;
+    }
+    while (i < t) {
+        var w = 1;
+        if (C1) {
+            w = 2;
+        }
+        i = i + 1;
+    }
+    if (1) {
+        if (C2 == 0) {
+            print(x);
+        }
+        var z = 9;
+    }
+}
+`
+
+// fig3Src mirrors Figure 3: switching makes the loop break out early
+// (single-entry-multiple-exit), so the use inside the iteration has no
+// match.
+const fig3Src = `
+func main() {
+    var P = read();
+    var C0 = 0;
+    var x = 1;
+    if (P) {
+        C0 = 1;
+    }
+    var i = 0;
+    var t = 2;
+    while (i < t) {
+        if (C0) {
+            break;
+        }
+        if (1) {
+            print(x);
+        }
+        i = i + 1;
+    }
+    print(99);
+}
+`
+
+func main() {
+	input := []int64{0, 0, 0}
+
+	fmt.Println("=== Figure 2, execution (2): match found across an inserted loop ===")
+	demo(fig2Src, input, "if (P)", "print(x)")
+
+	fmt.Println("\n=== Figure 2, execution (3): no match (governing branch flipped) ===")
+	demo(fig2BSrc, input, "if (P)", "print(x)")
+
+	fmt.Println("\n=== Figure 3: single-entry-multiple-exit (break), no match ===")
+	demo(fig3Src, []int64{0}, "if (P)", "print(x)")
+
+	fmt.Println("\n=== Figure 3: the statement AFTER the loop still matches ===")
+	demo(fig3Src, []int64{0}, "if (P)", "print(99)")
+}
+
+// demo switches the first instance of predFrag, then aligns the first
+// instance of pointFrag between the two executions.
+func demo(src string, input []int64, predFrag, pointFrag string) {
+	p := eol.MustCompile(src)
+	predID, ok := p.FindStatement(predFrag)
+	if !ok {
+		panic("predicate not found: " + predFrag)
+	}
+	pointID, ok := p.FindStatement(pointFrag)
+	if !ok {
+		panic("point not found: " + pointFrag)
+	}
+	pred := eol.Instance{Stmt: predID, Occ: 1}
+	point := eol.Instance{Stmt: pointID, Occ: 1}
+
+	orig, err := p.Run(input)
+	check(err)
+	switched, err := p.RunSwitched(input, pred)
+	check(err)
+
+	fmt.Printf("original run:  %d steps, outputs %v\n", orig.Steps(), orig.Outputs())
+	fmt.Printf("switched %v:   %d steps, outputs %v\n", pred, switched.Steps(), switched.Outputs())
+	if match, found := eol.AlignPoint(orig, switched, pred, point); found {
+		fmt.Printf("Match(%v '%s') = %v\n", point, pointFrag, match)
+	} else {
+		fmt.Printf("Match(%v '%s') = NOT FOUND\n", point, pointFrag)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

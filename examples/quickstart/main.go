@@ -1,0 +1,107 @@
+// The quickstart example walks the paper's Figure 1 end to end through
+// the public API: the gzip save-original-name bug, where the omitted
+// "flags |= ORIG_NAME" assignment makes classic dynamic slicing miss the
+// root cause, and implicit-dependence detection finds it.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"eol"
+)
+
+// The faulty gzip-like program of the paper's Figure 1: saveOrigName is
+// zeroed (the root cause), so the ORIG_NAME branch is never taken and the
+// flags byte printed later is wrong.
+const faultySrc = `
+var flags;
+var outbuf[8];
+var outcnt;
+
+func main() {
+    var deflated = 8;
+    var saveOrigName = read() * 0;  // ROOT CAUSE: should be read()
+    flags = 0;
+    var method = deflated;
+    if (saveOrigName) {             // paper's S4
+        flags = flags | 8;          // paper's S5: flags |= ORIG_NAME
+    }
+    outbuf[outcnt] = method;
+    outcnt = outcnt + 1;
+    outbuf[outcnt] = flags;         // paper's S6
+    outcnt = outcnt + 1;
+    if (saveOrigName) {             // paper's S7
+        outbuf[outcnt] = 99;        // paper's S8
+        outcnt = outcnt + 1;
+    }
+    print(outbuf[0]);               // paper's S9: correct output
+    print(outbuf[1]);               // paper's S10: wrong output
+}
+`
+
+func main() {
+	program := eol.MustCompile(faultySrc)
+	input := []int64{1} // gzip -N mode: save the original name
+
+	fmt.Println("=== program ===")
+	fmt.Println(program.Listing())
+
+	// 1. Observe the failure: the flags byte should be 8 but prints 0.
+	run, err := program.Run(input)
+	check(err)
+	fmt.Printf("faulty output:   %v\n", run.Outputs())
+	expected := []int64{8, 8}
+	fmt.Printf("expected output: %v\n\n", expected)
+
+	session, err := eol.NewSession(program, input, expected)
+	check(err)
+	seq, got, want, at := session.WrongOutput()
+	fmt.Printf("first wrong output: #%d, got %d want %d, printed at %v\n\n", seq, got, want, at)
+
+	// 2. Classic dynamic slicing misses the root cause.
+	root, _ := program.FindStatement("read() * 0")
+	ds := session.DynamicSlice()
+	fmt.Printf("dynamic slice: %d statements / %d instances; contains root cause: %v\n",
+		ds.Static, ds.Dynamic, ds.ContainsStmt(root))
+
+	// 3. Relevant slicing captures it, at the cost of false dependences.
+	rs := session.RelevantSlice()
+	fmt.Printf("relevant slice: %d statements / %d instances; contains root cause: %v\n\n",
+		rs.Static, rs.Dynamic, rs.ContainsStmt(root))
+
+	// 4. Verify the candidate dependences by predicate switching.
+	ifFlags, _ := program.FindStatement("if (saveOrigName)")
+	useFlags, _ := program.FindStatement("outbuf[outcnt] = flags")
+	v, err := session.VerifyImplicitDependence(
+		eol.Instance{Stmt: ifFlags, Occ: 1},
+		eol.Instance{Stmt: useFlags, Occ: 1},
+		"flags")
+	check(err)
+	fmt.Printf("VerifyDep(S4 -> S6, flags) = %v   (the paper's strong implicit dependence)\n", v)
+
+	// 5. Run the full demand-driven locator with a scripted user: only
+	// the failure-inducing chain has corrupted state.
+	chain := map[int]bool{root: true, ifFlags: true, useFlags: true}
+	if printID, ok := program.FindStatement("print(outbuf[1])"); ok {
+		chain[printID] = true
+	}
+	diag, err := session.Locate(
+		eol.WithRootCause(root),
+		eol.WithOracle(func(inst eol.Instance, text string) bool {
+			return !chain[inst.Stmt]
+		}),
+	)
+	check(err)
+	fmt.Println()
+	fmt.Print(diag.Explain())
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,3 @@
+module eol
+
+go 1.22

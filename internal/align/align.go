@@ -1,0 +1,117 @@
+// Package align implements the execution alignment algorithm (Algorithm 1
+// of the PLDI 2007 paper): given an original execution E and a switched
+// re-execution E', find the point u' in E' that corresponds to a point u
+// in E, or determine that no such point exists.
+//
+// Individual statement instances cannot be aligned directly — switching a
+// predicate can insert or remove arbitrarily long subsequences (loops,
+// recursion). The algorithm instead aligns *regions* (Definition 3):
+// starting from the smallest region around the switched predicate that
+// contains u, it descends through matching subregions in lockstep,
+// requiring equal branch outcomes at each matched predicate head, until
+// u's own head is reached or the lockstep walk fails (sibling exhausted,
+// head statements diverge, or branch outcomes differ — the Fig. 2/Fig. 3
+// failure cases).
+package align
+
+import (
+	"eol/internal/region"
+	"eol/internal/trace"
+)
+
+// Match finds the entry in ePrime corresponding to entry u of e, given
+// that the two runs are identical up to predicate instance p (the
+// switched predicate, present in both traces with the same statement and
+// occurrence numbers). It returns the matching entry index, or ok ==
+// false if no corresponding point exists in ePrime.
+//
+// Precondition: u is not inside p's own region (the demand-driven
+// algorithm only verifies uses that are not control dependent on p).
+func Match(e, ePrime *trace.Trace, p trace.Instance, u int) (int, bool) {
+	pIdx := e.FindInstance(p)
+	pIdxP := ePrime.FindInstance(p)
+	if pIdx < 0 || pIdxP < 0 {
+		return 0, false
+	}
+	if u == pIdx {
+		return pIdxP, true
+	}
+	// A point that is a region ancestor of p began before the divergence;
+	// by prefix identity it matches its own instance.
+	if e.Ancestry().IsAncestor(u, pIdx) {
+		m := ePrime.FindInstance(e.At(u).Inst)
+		return m, m >= 0
+	}
+
+	// r = Region(p); climb until u is inside. The ancestor chains of p in
+	// E and E' are identical instance-for-instance (deterministic prefix),
+	// so the climb is mirrored by instance lookup.
+	r := region.Of(e, pIdx)
+	for !r.Contains(u) {
+		if r.IsRoot() {
+			// u precedes the whole-execution region? Cannot happen: the
+			// root contains everything.
+			break
+		}
+		r = r.Parent()
+	}
+	var rp region.Region
+	if r.IsRoot() {
+		rp = region.Whole(ePrime)
+	} else {
+		hp := ePrime.FindInstance(r.HeadInstance())
+		if hp < 0 {
+			return 0, false
+		}
+		rp = region.Region{T: ePrime, Head: hp}
+	}
+	return matchInsideRegion(r, u, rp)
+}
+
+// matchInsideRegion mirrors the paper's MatchInsideRegion(R, u, R'):
+// walk the immediate subregions of R and R' in lockstep until the
+// subregion containing u is found, then either return its counterpart's
+// head (if u heads the subregion) or recurse after checking that the two
+// heads took the same branch.
+func matchInsideRegion(r region.Region, u int, rp region.Region) (int, bool) {
+	sub, ok := r.FirstSub()
+	if !ok {
+		return 0, false // u is in R but R has no subregions: impossible
+	}
+	subP, okP := rp.FirstSub()
+	if !okP {
+		return 0, false // line 16: different exit, counterpart empty
+	}
+	for !sub.Contains(u) {
+		sub, ok = sub.Sibling()
+		if !ok {
+			return 0, false
+		}
+		subP, okP = subP.Sibling()
+		if !okP {
+			return 0, false // line 20: single-entry-multiple-exit case (Fig. 3)
+		}
+	}
+	// The lockstep counterpart must be an instance of the same statement;
+	// otherwise the executions structurally diverged before u.
+	if sub.HeadStmt() != subP.HeadStmt() {
+		return 0, false
+	}
+	if sub.Head == u {
+		return subP.Head, true // line 22: FirstStmt(r) == u
+	}
+	if sub.Branch() != subP.Branch() {
+		return 0, false // line 23: switching altered a governing branch
+	}
+	return matchInsideRegion(sub, u, subP)
+}
+
+// MatchInstance is a convenience wrapper that matches the instance at
+// entry u and reports the matched instance.
+func MatchInstance(e, ePrime *trace.Trace, p trace.Instance, u int) (trace.Instance, bool) {
+	idx, ok := Match(e, ePrime, p, u)
+	if !ok {
+		return trace.Instance{}, false
+	}
+	return ePrime.At(idx).Inst, true
+}

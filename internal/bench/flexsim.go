@@ -1,0 +1,200 @@
+package bench
+
+// flexSrc is the scanner analog of flex-generated lexers: it tokenizes a
+// byte stream into identifiers, keywords, numbers and operators, emitting
+// one token code per token as it goes (flex "emits results gradually",
+// which the paper notes makes its cases easier) and summary counters at
+// the end.
+//
+// Token codes: 1 identifier, 2 number, 3 keyword, 4 arithmetic operator,
+// 5 other operator.
+const flexSrc = `
+// flexsim: a tiny scanner in the style of a flex-generated lexer.
+var counts[8];
+var lineno;
+var tokens;
+var longIds;
+
+func isAlpha(c) {
+    return (c >= 97 && c <= 122) || (c >= 65 && c <= 90) || c == 95;
+}
+
+func isDigit(c) {
+    return c >= 48 && c <= 57;
+}
+
+func main() {
+    lineno = 1;
+    tokens = 0;
+    longIds = 0;
+    while (!eof()) {
+        var c = read();
+        if (c == 10) {
+            lineno = lineno + 1;
+        }
+        if (c == 32 || c == 9 || c == 13 || c == 10) {
+            continue;
+        }
+        if (isAlpha(c)) {
+            var first = c;
+            var tlen = 1;
+            var sum = c;
+            while (isAlpha(peek()) || isDigit(peek())) {
+                var d = read();
+                sum = sum + d;
+                tlen = tlen + 1;
+            }
+            var kw = 0;
+            if (first == 105 && tlen == 2) {
+                kw = 1;
+            }
+            if (first == 102 && tlen == 3) {
+                kw = 1;
+            }
+            if (first == 118 && tlen == 3) {
+                kw = 1;
+            }
+            var code = 1;
+            if (kw > 0) {
+                code = 3;
+            }
+            if (tlen >= 4) {
+                longIds = longIds + 1;
+            }
+            counts[code] = counts[code] + 1;
+            tokens = tokens + 1;
+            print(code);
+            continue;
+        }
+        if (isDigit(c)) {
+            var val = c - 48;
+            while (isDigit(peek())) {
+                var d = read();
+                val = val * 10 + d - 48;
+            }
+            counts[2] = counts[2] + 1;
+            tokens = tokens + 1;
+            print(2);
+            continue;
+        }
+        var opcode = 0;
+        if (c == 43 || c == 45) {
+            opcode = 4;
+        }
+        if (opcode == 0) {
+            opcode = 5;
+        }
+        counts[opcode] = counts[opcode] + 1;
+        tokens = tokens + 1;
+        print(opcode);
+    }
+    var active = 0;
+    if (tokens > 0) {
+        active = 1;
+    }
+    print(lineno);
+    print(tokens);
+    print(longIds);
+    print(active);
+    print(counts[1]);
+    print(counts[2]);
+    print(counts[3]);
+    print(counts[4]);
+    print(counts[5]);
+}
+`
+
+func flexCases() []*Case {
+	return []*Case{
+		{
+			Program:     "flexsim",
+			ID:          "V1-F9",
+			Description: "keyword recognition suppressed for 2-letter keywords: the code=3 branch is omitted for 'if'",
+			CorrectSrc:  flexSrc,
+			FaultFrom:   "if (kw > 0) {",
+			FaultTo:     "if (kw > 0 && tlen > 2) {",
+			RootFrag:    "kw > 0 && tlen > 2",
+			// 'if' should scan as keyword (code 3) but prints 1.
+			FailingInput: Bytes("x = 1\nif y\nfor z\n"),
+			PassingInputs: [][]int64{
+				Bytes("for x = 1 + 2\n"), // 3-letter keywords unaffected
+				Bytes("var yy = 33\n"),
+				Bytes("abc 12 + 34"),
+				Bytes(""),
+				Bytes("zz * 7"),
+			},
+		},
+		{
+			Program:     "flexsim",
+			ID:          "V2-F14",
+			Description: "line counting omitted before the first token: lineno increment guarded by tokens > 0",
+			CorrectSrc:  flexSrc,
+			FaultFrom:   "if (c == 10) {",
+			FaultTo:     "if (c == 10 && tokens > 0) {",
+			RootFrag:    "c == 10 && tokens > 0",
+			// Leading newline before any token is not counted; the final
+			// lineno is off by one. No later newline exists, so no
+			// instance of the edited predicate ever takes the true
+			// branch and the statement stays out of the dynamic slice.
+			FailingInput: Bytes("\nalpha beta 5"),
+			PassingInputs: [][]int64{
+				Bytes("alpha 5\nbeta\n"), // no leading newline
+				Bytes("x y z"),
+				Bytes("1 + 2\n3 + 4\n"),
+				Bytes(""),
+			},
+		},
+		{
+			Program:     "flexsim",
+			ID:          "V3-F10",
+			Description: "active-flag omission on single-token inputs: threshold off by one",
+			CorrectSrc:  flexSrc,
+			FaultFrom:   "if (tokens > 0) {",
+			FaultTo:     "if (tokens > 1) {",
+			RootFrag:    "tokens > 1",
+			// Exactly one token: active should be 1 but stays 0.
+			FailingInput: Bytes("hello"),
+			PassingInputs: [][]int64{
+				Bytes("a b"), // two tokens
+				Bytes("1 2 3"),
+				Bytes(""), // zero tokens: active 0 either way
+				Bytes("for x = 1\n"),
+			},
+		},
+		{
+			Program:     "flexsim",
+			ID:          "V4-F6",
+			Description: "long-identifier counting misses the boundary length: >= becomes >",
+			CorrectSrc:  flexSrc,
+			FaultFrom:   "if (tlen >= 4) {",
+			FaultTo:     "if (tlen > 4) {",
+			RootFrag:    "tlen > 4",
+			// 'wxyz' has length exactly 4: longIds should count it. It is
+			// the only long identifier, so the increment never executes.
+			FailingInput: Bytes("ab wxyz c"),
+			PassingInputs: [][]int64{
+				Bytes("ab cde f"),   // no identifier of length 4
+				Bytes("longname x"), // length > 4 still counted
+				Bytes("1 + 2"),
+				Bytes(""),
+			},
+		},
+		{
+			Program:     "flexsim",
+			ID:          "V5-F6",
+			Description: "operator classification omits '-': minus falls through to the catch-all code",
+			CorrectSrc:  flexSrc,
+			FaultFrom:   "if (c == 43 || c == 45) {",
+			FaultTo:     "if (c == 43) {",
+			RootFrag:    "if (c == 43)",
+			// '-' should print code 4 but prints 5.
+			FailingInput: Bytes("a + b - c\n"),
+			PassingInputs: [][]int64{
+				Bytes("a + b + c"), // no minus
+				Bytes("x * y"),
+				Bytes("12 34"),
+				Bytes(""),
+			},
+		},
+	}
+}

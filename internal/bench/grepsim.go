@@ -1,0 +1,120 @@
+package bench
+
+// grepSrc is the pattern-matcher analog of grep: a naive substring
+// matcher with '.' wildcards. Like grep, it prints nothing until the end
+// (matching line numbers, then the match count and line total), which the
+// paper identifies as the property that makes its error the hardest case:
+// the corrupted state propagates a long way before any observation.
+const grepSrc = `
+// grepsim: naive pattern matcher with '.' wildcards, grep-style.
+var pattern[32];
+var plen;
+var line[64];
+var matches[32];
+var nmatch;
+
+func matchAt(start, llen) {
+    var i = 0;
+    while (i < plen) {
+        if (start + i >= llen) {
+            return 0;
+        }
+        var pc = pattern[i];
+        var lc = line[start + i];
+        var okc = 0;
+        if (pc == 46) {
+            okc = 1;
+        }
+        if (pc == lc) {
+            okc = 1;
+        }
+        if (okc == 0) {
+            return 0;
+        }
+        i = i + 1;
+    }
+    return 1;
+}
+
+func matchLine(llen) {
+    var s = 0;
+    while (s + plen <= llen) {
+        if (matchAt(s, llen)) {
+            return 1;
+        }
+        s = s + 1;
+    }
+    return 0;
+}
+
+func main() {
+    plen = read();
+    var i = 0;
+    while (i < plen) {
+        pattern[i] = read();
+        i = i + 1;
+    }
+    var lineno = 0;
+    nmatch = 0;
+    var total = 0;
+    while (!eof()) {
+        var llen = read();
+        var j = 0;
+        while (j < llen) {
+            line[j] = read();
+            j = j + 1;
+        }
+        lineno = lineno + 1;
+        if (matchLine(llen)) {
+            matches[nmatch] = lineno;
+            nmatch = nmatch + 1;
+        }
+        total = total + 1;
+    }
+    var k = 0;
+    while (k < nmatch) {
+        print(matches[k]);
+        k = k + 1;
+    }
+    print(nmatch);
+    print(total);
+}
+`
+
+func grepCases() []*Case {
+	return []*Case{
+		{
+			Program:     "grepsim",
+			ID:          "V4-F2",
+			Description: "'.' wildcard honored only at pattern position 0: mid-pattern wildcards never match, so a matching line is silently dropped and every later observation shifts",
+			CorrectSrc:  grepSrc,
+			FaultFrom:   "if (pc == 46) {",
+			FaultTo:     "if (pc == 46 && i == 0) {",
+			RootFrag:    "pc == 46 && i == 0",
+			// Pattern "a.c": lines 2 ("xabcx") and 4 ("aXc") match via the
+			// mid-pattern wildcard and are missed; line 5 ("xa.cz")
+			// matches literally in both versions, so the faulty matches
+			// array holds [5] instead of [2 4 5] and the first printed
+			// line number is wrong.
+			FailingInput: Cat(
+				Line("a.c"),
+				Line("hello"),
+				Line("xabcx"),
+				Line("nope"),
+				Line("aXc"),
+				Line("xa.cz"),
+				Line("end"),
+			),
+			PassingInputs: [][]int64{
+				// wildcard at position 0 works in both versions
+				Cat(Line(".bc"), Line("abc"), Line("zbc"), Line("qqq")),
+				// no wildcard at all
+				Cat(Line("abc"), Line("xxabcxx"), Line("abd")),
+				// no lines
+				Cat(Line("a.c")),
+				// wildcard never needed to decide
+				Cat(Line("zz"), Line("zz"), Line("azza")),
+			},
+		},
+	}
+}

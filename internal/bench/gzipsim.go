@@ -1,0 +1,96 @@
+package bench
+
+// gzipSrc is the compressor analog of gzip: it writes a gzip-style header
+// (magic, method, flags, optional original-name bytes), an RLE-compressed
+// body, and a checksum. The V2-F3 fault is the paper's own motivating
+// example (Fig. 1): the save-original-name flag is zeroed, so the
+// ORIG_NAME bit never reaches the flags byte and the name bytes are never
+// emitted.
+const gzipSrc = `
+// gzipsim: header + RLE body + checksum, gzip-style.
+var outbuf[256];
+var outcnt;
+
+func emit(b) {
+    outbuf[outcnt] = b;
+    outcnt = outcnt + 1;
+    return outcnt;
+}
+
+func main() {
+    var saveOrigName = read();
+    var timestamp = read();
+
+    emit(31);
+    emit(139);
+    emit(8);
+    var flags = 0;
+    if (saveOrigName) {
+        flags = flags | 8;
+    }
+    if (timestamp > 0) {
+        flags = flags | 4;
+    }
+    emit(flags);
+    emit(timestamp % 256);
+    if (saveOrigName) {
+        emit(78);
+        emit(65);
+    }
+
+    var prev = 0 - 1;
+    var run = 0;
+    while (!eof()) {
+        var ch = read();
+        if (ch == prev && run < 255) {
+            run = run + 1;
+        } else {
+            if (run > 0) {
+                emit(prev);
+                emit(run);
+            }
+            prev = ch;
+            run = 1;
+        }
+    }
+    if (run > 0) {
+        emit(prev);
+        emit(run);
+    }
+
+    var crc = 0;
+    var i = 0;
+    while (i < outcnt) {
+        crc = (crc * 31 + outbuf[i]) % 65536;
+        i = i + 1;
+    }
+    var j = 0;
+    while (j < outcnt) {
+        print(outbuf[j]);
+        j = j + 1;
+    }
+    print(crc);
+}
+`
+
+func gzipCases() []*Case {
+	return []*Case{
+		{
+			Program:     "gzipsim",
+			ID:          "V2-F3",
+			Description: "Fig. 1: saveOrigName is zeroed, the ORIG_NAME branch is omitted, and the flags byte written to the output is wrong",
+			CorrectSrc:  gzipSrc,
+			FaultFrom:   "var saveOrigName = read();",
+			FaultTo:     "var saveOrigName = read() * 0;",
+			RootFrag:    "read() * 0",
+			// -N mode with a small body: flags byte should be 8.
+			FailingInput: Cat([]int64{1, 0}, Bytes("aaabbc")),
+			PassingInputs: [][]int64{
+				Cat([]int64{0, 0}, Bytes("aaabbc")),   // no -N: fault latent
+				Cat([]int64{0, 7}, Bytes("xyz")),      // timestamp flag path
+				Cat([]int64{0, 0}, Bytes("")),         // empty body
+				Cat([]int64{0, 3}, Bytes("aaaaaaaa")), // long run
+			},
+		},
+	}
+}

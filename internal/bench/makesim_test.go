@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"eol/internal/interp"
+)
+
+// TestMakeExcludedFromSuite mirrors the paper: make is characterized but
+// not among the error cases.
+func TestMakeExcludedFromSuite(t *testing.T) {
+	for _, c := range Cases() {
+		if c.Program == "makesim" {
+			t.Fatal("makesim must not be part of the error-case suite")
+		}
+	}
+	if MakeCase().LOC() < 30 {
+		t.Errorf("makesim LOC = %d", MakeCase().LOC())
+	}
+}
+
+// TestMakeFaultLatentOnProvidedTests reproduces the paper's experience:
+// the seeded fault is not exposable by any provided input.
+func TestMakeFaultLatentOnProvidedTests(t *testing.T) {
+	c := MakeCase()
+	faultySrc, err := c.FaultySrc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := interp.Compile(faultySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, err := interp.Compile(c.CorrectSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := append([][]int64{c.FailingInput}, c.PassingInputs...)
+	for i, in := range inputs {
+		fr := interp.Run(faulty, interp.Options{Input: in})
+		cr := interp.Run(correct, interp.Options{Input: in})
+		if fr.Err != nil || cr.Err != nil {
+			t.Fatalf("input %d: %v / %v", i, fr.Err, cr.Err)
+		}
+		if !reflect.DeepEqual(fr.OutputValues(), cr.OutputValues()) {
+			t.Errorf("input %d exposes the supposedly latent fault: %v vs %v",
+				i, fr.OutputValues(), cr.OutputValues())
+		}
+	}
+}
+
+// TestMakeFaultIsExposableInPrinciple: the fault is real — an input with
+// original stamps above the rebuild-stamp range (100+i) exposes the
+// missing dirty propagation. Such an input is deliberately NOT among the
+// provided tests.
+func TestMakeFaultIsExposableInPrinciple(t *testing.T) {
+	c := MakeCase()
+	faultySrc, err := c.FaultySrc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := interp.Compile(faultySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, err := interp.Compile(c.CorrectSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain 2 <- 1 <- 0 with big original stamps: target 0 newer than 1
+	// forces 1 to rebuild (new stamp 101), but 101 < stamp[2] = 500, so
+	// only the dirty flag can propagate the rebuild to 2.
+	exposing := []int64{3, 0, 400, 1, 0, 300, 1, 1, 500}
+	fr := interp.Run(faulty, interp.Options{Input: exposing})
+	cr := interp.Run(correct, interp.Options{Input: exposing})
+	if fr.Err != nil || cr.Err != nil {
+		t.Fatalf("%v / %v", fr.Err, cr.Err)
+	}
+	if reflect.DeepEqual(fr.OutputValues(), cr.OutputValues()) {
+		t.Fatalf("crafted input failed to expose the fault: %v", fr.OutputValues())
+	}
+}
+
+// TestMakeCorrectSemantics sanity-checks the scheduler on the correct
+// version.
+func TestMakeCorrectSemantics(t *testing.T) {
+	correct, err := interp.Compile(MakeCase().CorrectSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Up-to-date graph: nothing rebuilds.
+	r := interp.Run(correct, interp.Options{Input: []int64{2, 0, 5, 1, 0, 10}})
+	if !reflect.DeepEqual(r.OutputValues(), []int64{0}) {
+		t.Errorf("up-to-date build rebuilt something: %v", r.OutputValues())
+	}
+	// Dep newer: the dependent rebuilds.
+	r = interp.Run(correct, interp.Options{Input: []int64{2, 0, 10, 1, 0, 5}})
+	if !reflect.DeepEqual(r.OutputValues(), []int64{1, 1}) {
+		t.Errorf("stale build = %v, want [1 1]", r.OutputValues())
+	}
+	// Transitive chain with high stamps: both 1 and 2 rebuild.
+	r = interp.Run(correct, interp.Options{Input: []int64{3, 0, 400, 1, 0, 300, 1, 1, 500}})
+	if !reflect.DeepEqual(r.OutputValues(), []int64{1, 2, 2}) {
+		t.Errorf("chain build = %v, want [1 2 2]", r.OutputValues())
+	}
+}

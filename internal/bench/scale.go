@@ -1,0 +1,53 @@
+package bench
+
+import "fmt"
+
+// ScaledGrepInput generates a grepsim workload with n lines for scaling
+// sweeps: the pattern is "a.c"; every 7th line matches via the
+// mid-pattern wildcard (missed by the V4-F2 fault), every 13th matches
+// literally, the rest do not match. Deterministic by construction.
+func ScaledGrepInput(n int) []int64 {
+	in := Line("a.c")
+	for i := 1; i <= n; i++ {
+		switch {
+		case i%13 == 0:
+			in = Cat(in, Line(fmt.Sprintf("xa.c%d", i)))
+		case i%7 == 0 || i == 3:
+			// wildcard matches; i == 3 guarantees one at every size
+			in = Cat(in, Line(fmt.Sprintf("zaXc%d", i)))
+		default:
+			in = Cat(in, Line(fmt.Sprintf("noise%d", i)))
+		}
+	}
+	return in
+}
+
+// ScaledFlexInput generates a flexsim token stream with roughly n tokens.
+func ScaledFlexInput(n int) []int64 {
+	var src string
+	words := []string{"alpha", "if", "for", "beta", "x9", "wxyz", "12", "+", "-", "*"}
+	for i := 0; i < n; i++ {
+		src += words[i%len(words)]
+		if i%11 == 10 {
+			src += "\n"
+		} else {
+			src += " "
+		}
+	}
+	return Bytes(src)
+}
+
+// ScaledSedInput generates a sedsim workload with n lines (g mode off so
+// both program versions behave identically on it; useful for pure
+// substrate scaling).
+func ScaledSedInput(n int) []int64 {
+	in := []int64{'a', 'A', 0, '#'}
+	for i := 0; i < n; i++ {
+		if i%5 == 4 {
+			in = Cat(in, Line(fmt.Sprintf("#drop%d", i)))
+		} else {
+			in = Cat(in, Line(fmt.Sprintf("data%d", i)))
+		}
+	}
+	return in
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"eol/internal/interp"
+	"eol/internal/slicing"
+)
+
+// TestScaledGrepInput: the scaled workload exposes the V4-F2 fault at
+// every size, deterministically, with trace size growing with the line
+// count.
+func TestScaledGrepInput(t *testing.T) {
+	p, err := ByName("grepsim/V4-F2").Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevLen := 0
+	for _, n := range []int{5, 20, 60} {
+		in := ScaledGrepInput(n)
+		if !reflect.DeepEqual(in, ScaledGrepInput(n)) {
+			t.Fatal("scaled input not deterministic")
+		}
+		fr := interp.Run(p.Faulty, interp.Options{Input: in, BuildTrace: true})
+		cr := interp.Run(p.Correct, interp.Options{Input: in})
+		if fr.Err != nil || cr.Err != nil {
+			t.Fatalf("n=%d: %v / %v", n, fr.Err, cr.Err)
+		}
+		seq, missing, ok := slicing.FirstWrongOutput(fr.OutputValues(), cr.OutputValues())
+		if !ok || missing || seq < 0 {
+			t.Errorf("n=%d: fault not exposed as a wrong value", n)
+		}
+		if fr.Trace.Len() <= prevLen {
+			t.Errorf("n=%d: trace did not grow (%d <= %d)", n, fr.Trace.Len(), prevLen)
+		}
+		prevLen = fr.Trace.Len()
+	}
+}
+
+// TestScaledFlexInput: the token stream scales and runs clean on both
+// versions for the V3-F10 case-irrelevant workload.
+func TestScaledFlexInput(t *testing.T) {
+	p, err := ByName("flexsim/V1-F9").Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{10, 50} {
+		in := ScaledFlexInput(n)
+		fr := interp.Run(p.Faulty, interp.Options{Input: in})
+		cr := interp.Run(p.Correct, interp.Options{Input: in})
+		if fr.Err != nil || cr.Err != nil {
+			t.Fatalf("n=%d: %v / %v", n, fr.Err, cr.Err)
+		}
+		// The stream contains 'if' tokens, so the V1-F9 fault shows.
+		if reflect.DeepEqual(fr.OutputValues(), cr.OutputValues()) {
+			t.Errorf("n=%d: expected the keyword fault to show on a stream with 'if'", n)
+		}
+	}
+}
+
+// TestScaledSedInput: g-flag-off workloads behave identically on both
+// versions (pure substrate scaling).
+func TestScaledSedInput(t *testing.T) {
+	p, err := ByName("sedsim/V3-F2").Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{5, 25} {
+		in := ScaledSedInput(n)
+		fr := interp.Run(p.Faulty, interp.Options{Input: in})
+		cr := interp.Run(p.Correct, interp.Options{Input: in})
+		if fr.Err != nil || cr.Err != nil {
+			t.Fatalf("n=%d: %v / %v", n, fr.Err, cr.Err)
+		}
+		if !reflect.DeepEqual(fr.OutputValues(), cr.OutputValues()) {
+			t.Errorf("n=%d: g-off workload must be fault-latent", n)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package bench
+
+// sedSrc is the stream-editor analog of sed: per line it applies a
+// character substitution (first occurrence, or all occurrences with the
+// g flag), deletes lines starting with a marker character, and computes a
+// final status word. The V3-F2 fault produces the paper's two-expansion
+// case: the zeroed g flag suppresses the markEnd assignment, whose stale
+// value then suppresses the status assignment — two chained execution
+// omissions between the root cause and the failure.
+const sedSrc = `
+// sedsim: s/from/to/[g] + line deletion + status summary, sed-style.
+var buf[64];
+
+func main() {
+    var from = read();
+    var to = read();
+    var gflag = read();
+    var delChar = read();
+
+    var markEnd = 0;
+    if (gflag > 0) {
+        markEnd = 1;
+    }
+
+    var lineno = 0;
+    var kept = 0;
+    var totalSubs = 0;
+    while (!eof()) {
+        var llen = read();
+        var i = 0;
+        while (i < llen) {
+            buf[i] = read();
+            i = i + 1;
+        }
+        lineno = lineno + 1;
+        var del = 0;
+        if (llen > 0) {
+            if (buf[0] == delChar) {
+                del = 1;
+            }
+        }
+        if (del == 0) {
+            var subs = 0;
+            var j = 0;
+            while (j < llen) {
+                if (buf[j] == from) {
+                    if (subs == 0 || gflag > 0) {
+                        buf[j] = to;
+                        subs = subs + 1;
+                    }
+                }
+                j = j + 1;
+            }
+            totalSubs = totalSubs + subs;
+            kept = kept + 1;
+            var k = 0;
+            while (k < llen) {
+                print(buf[k]);
+                k = k + 1;
+            }
+        }
+    }
+    var status = 0;
+    if (totalSubs > 0) {
+        if (markEnd > 0) {
+            status = lineno * 100 + totalSubs;
+        }
+    }
+    print(kept);
+    print(totalSubs);
+    print(status);
+    print(lineno);
+}
+`
+
+func sedCases() []*Case {
+	return []*Case{
+		{
+			Program: "sedsim",
+			ID:      "V3-F2",
+			Description: "g flag zeroed: the markEnd assignment is omitted, whose stale value then omits " +
+				"the status assignment — a two-step execution-omission chain (two expansions needed)",
+			CorrectSrc: sedSrc,
+			FaultFrom:  "var gflag = read();",
+			FaultTo:    "var gflag = read() * 0;",
+			RootFrag:   "read() * 0",
+			// g mode, but no line has a second occurrence of 'a', so the
+			// substitution behavior is identical and the only divergence
+			// flows through markEnd -> status.
+			FailingInput: Cat(
+				[]int64{'a', 'A', 1, '#'},
+				Line("cat"),
+				Line("#drop"),
+				Line("lamp"),
+			),
+			PassingInputs: [][]int64{
+				// g flag off: fault latent
+				Cat([]int64{'a', 'A', 0, '#'}, Line("cat"), Line("lamp")),
+				Cat([]int64{'x', 'X', 0, '!'}, Line("box"), Line("!gone"), Line("ox")),
+				Cat([]int64{'q', 'Q', 0, '#'}, Line("nothing here")),
+				Cat([]int64{'z', 'Z', 0, '#'}),
+			},
+		},
+		{
+			Program:     "sedsim",
+			ID:          "V3-F3",
+			Description: "substitution omitted at line position 0: the match predicate requires j > 0",
+			CorrectSrc:  sedSrc,
+			FaultFrom:   "if (buf[j] == from) {",
+			FaultTo:     "if (buf[j] == from && j > 0) {",
+			RootFrag:    "buf[j] == from && j > 0",
+			// 'apple' starts with 'a': the first character should be
+			// substituted but is printed unchanged.
+			FailingInput: Cat(
+				[]int64{'a', 'A', 0, '#'},
+				Line("apple"),
+				Line("bat"),
+			),
+			PassingInputs: [][]int64{
+				// no line starts with the from-char
+				Cat([]int64{'a', 'A', 0, '#'}, Line("bat"), Line("cap")),
+				Cat([]int64{'z', 'Z', 1, '#'}, Line("fizz buzz")),
+				Cat([]int64{'m', 'M', 0, '!'}, Line("!mmm"), Line("ham")),
+				Cat([]int64{'k', 'K', 0, '#'}),
+			},
+		},
+	}
+}

@@ -1,0 +1,325 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"eol/internal/lang/ast"
+	"eol/internal/lang/parser"
+	"eol/internal/lang/sem"
+)
+
+func compile(t *testing.T, src string) (*sem.Info, *Program) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	p, err := Build(info)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return info, p
+}
+
+// stmtIDByText finds the first numbered statement whose rendering contains
+// the fragment.
+func stmtIDByText(t *testing.T, info *sem.Info, frag string) int {
+	t.Helper()
+	for _, s := range info.Stmts {
+		if contains(ast.StmtString(s), frag) {
+			return s.ID()
+		}
+	}
+	t.Fatalf("no statement containing %q", frag)
+	return 0
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+const ifSrc = `
+func main() {
+    var x = read();
+    var y = 0;
+    if (x > 0) {
+        y = 1;
+    } else {
+        y = 2;
+    }
+    print(y);
+}`
+
+func TestIfControlDependence(t *testing.T) {
+	info, p := compile(t, ifSrc)
+	condID := stmtIDByText(t, info, "if (x > 0)")
+	then := stmtIDByText(t, info, "y = 1")
+	els := stmtIDByText(t, info, "y = 2")
+	pr := stmtIDByText(t, info, "print(y)")
+
+	g := p.Funcs["main"]
+	wantCD := func(s int, label Label) {
+		t.Helper()
+		for _, cd := range g.NodeOf(s).CD {
+			if cd.P.StmtID() == condID && cd.Label == label {
+				return
+			}
+		}
+		t.Errorf("S%d: want control dependence on S%d/%s, have %v", s, condID, label, g.NodeOf(s).CD)
+	}
+	wantCD(then, True)
+	wantCD(els, False)
+	if len(g.NodeOf(pr).CD) != 0 {
+		t.Errorf("print(y) should have no control dependence, got %v", g.NodeOf(pr).CD)
+	}
+	if len(g.NodeOf(condID).CD) != 0 {
+		t.Errorf("if-cond should have no control dependence, got %v", g.NodeOf(condID).CD)
+	}
+}
+
+const whileSrc = `
+func main() {
+    var i = 0;
+    while (i < 10) {
+        i = i + 1;
+    }
+    print(i);
+}`
+
+func TestWhileSelfDependence(t *testing.T) {
+	info, p := compile(t, whileSrc)
+	cond := stmtIDByText(t, info, "while (i < 10)")
+	body := stmtIDByText(t, info, "i = i + 1")
+	pr := stmtIDByText(t, info, "print(i)")
+	g := p.Funcs["main"]
+
+	// Loop predicates are control dependent on themselves (FOW).
+	selfDep := false
+	for _, cd := range g.NodeOf(cond).CD {
+		if cd.P.StmtID() == cond && cd.Label == True {
+			selfDep = true
+		}
+	}
+	if !selfDep {
+		t.Errorf("while-cond should be control dependent on itself via T, got %v", g.NodeOf(cond).CD)
+	}
+	if !p.IsControlDependentOn(body, cond) {
+		t.Errorf("loop body should be control dependent on the loop predicate")
+	}
+	if p.IsControlDependentOn(pr, cond) {
+		t.Errorf("statement after loop must not be control dependent on the loop predicate")
+	}
+}
+
+const breakSrc = `
+func main() {
+    var i = 0;
+    while (i < 10) {
+        if (i == 5) {
+            break;
+        }
+        i = i + 1;
+    }
+    print(i);
+}`
+
+func TestBreakControlDependence(t *testing.T) {
+	info, p := compile(t, breakSrc)
+	wcond := stmtIDByText(t, info, "while (i < 10)")
+	icond := stmtIDByText(t, info, "if (i == 5)")
+	brk := stmtIDByText(t, info, "break")
+	inc := stmtIDByText(t, info, "i = i + 1")
+	g := p.Funcs["main"]
+	_ = g
+
+	if !p.IsControlDependentOn(brk, icond) {
+		t.Errorf("break should be control dependent on the if")
+	}
+	if !p.IsControlDependentOn(inc, icond) {
+		t.Errorf("i=i+1 should be control dependent on the if (False branch)")
+	}
+	// Because of the break, the while condition's re-execution is control
+	// dependent on the inner if.
+	if !p.IsControlDependentOn(wcond, icond) {
+		t.Errorf("loop predicate should be control dependent on the breaking if")
+	}
+}
+
+const forSrc = `
+func main() {
+    var s = 0;
+    for (var i = 0; i < 4; i++) {
+        if (i == 2) { continue; }
+        s += i;
+    }
+    print(s);
+}`
+
+func TestForCFGShape(t *testing.T) {
+	info, p := compile(t, forSrc)
+	fcond := stmtIDByText(t, info, "for (")
+	post := 0
+	// The post statement renders as "i += 1;".
+	for _, s := range info.Stmts {
+		if ast.StmtString(s) == "i += 1;" {
+			post = s.ID()
+		}
+	}
+	if post == 0 {
+		t.Fatal("post statement not found")
+	}
+	g := p.Funcs["main"]
+	// Post must flow back to the for-cond.
+	found := false
+	for _, e := range g.NodeOf(post).Succs {
+		if e.To.StmtID() == fcond {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("post statement should have an edge to the for condition")
+	}
+	// continue must flow to the post statement.
+	cont := stmtIDByText(t, info, "continue")
+	found = false
+	for _, e := range g.NodeOf(cont).Succs {
+		if e.To.StmtID() == post {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("continue should have an edge to the post statement, got %v", g.NodeOf(cont).Succs)
+	}
+	if !p.IsControlDependentOn(post, fcond) {
+		t.Errorf("post statement should be control dependent on the for predicate")
+	}
+}
+
+func TestInfiniteLoopRejected(t *testing.T) {
+	// A for-loop without a condition and without break can never reach
+	// the function exit in the static CFG. (A while(1) loop still has a
+	// static False edge, so it is accepted.)
+	src := `func main() { for (;;) { var x = 1; } }`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	if _, err := Build(info); err == nil {
+		t.Fatal("Build should reject a loop that cannot reach the function exit")
+	}
+}
+
+func TestWhileOneWithBreakAccepted(t *testing.T) {
+	src := `func main() { var i = 0; while (1) { i++; if (i > 3) { break; } } print(i); }`
+	compile(t, src)
+}
+
+// TestPostDominanceProperties checks reflexivity/antisymmetry of the
+// post-dominator tree and that Exit post-dominates everything.
+func TestPostDominanceProperties(t *testing.T) {
+	srcs := []string{ifSrc, whileSrc, breakSrc, forSrc}
+	for _, src := range srcs {
+		_, p := compile(t, src)
+		g := p.Funcs["main"]
+		for _, n := range g.Nodes {
+			if !PostDominates(n, n) {
+				t.Errorf("PostDominates not reflexive at %s", n)
+			}
+			if !PostDominates(g.Exit, n) {
+				t.Errorf("Exit should post-dominate %s", n)
+			}
+			if n != g.Exit && PostDominates(n, g.Exit) {
+				t.Errorf("%s must not post-dominate Exit", n)
+			}
+		}
+		// Every non-exit node's IPDom chain terminates at Exit without
+		// cycles.
+		for _, n := range g.Nodes {
+			seen := map[*Node]bool{}
+			for m := n; m != nil && m != g.Exit; m = m.IPDom {
+				if seen[m] {
+					t.Fatalf("IPDom cycle at %s", m)
+				}
+				seen[m] = true
+			}
+		}
+	}
+}
+
+// TestNestedCD: statements in doubly nested branches are directly control
+// dependent only on the innermost predicate.
+func TestNestedCD(t *testing.T) {
+	src := `
+func main() {
+    var a = read();
+    var b = read();
+    if (a) {
+        if (b) {
+            print(1);
+        }
+    }
+    print(2);
+}`
+	info, p := compile(t, src)
+	outer := stmtIDByText(t, info, "if (a)")
+	inner := stmtIDByText(t, info, "if (b)")
+	p1 := stmtIDByText(t, info, "print(1)")
+	p2 := stmtIDByText(t, info, "print(2)")
+
+	if !p.IsControlDependentOn(p1, inner) {
+		t.Errorf("print(1) should depend on inner if")
+	}
+	if p.IsControlDependentOn(p1, outer) {
+		t.Errorf("print(1) should NOT directly depend on outer if")
+	}
+	if !p.IsControlDependentOn(inner, outer) {
+		t.Errorf("inner if should depend on outer if")
+	}
+	if cds := p.ControlDeps(p2); len(cds) != 0 {
+		t.Errorf("print(2) should have no control deps, got %v", cds)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	_, p := compile(t, breakSrc)
+	g := p.Funcs["main"]
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph cfg_main {",
+		"ENTRY", "EXIT",
+		"shape=diamond", // predicates
+		`[label="T"]`,   // labeled branch edge
+		"style=dashed",  // CD annotation
+		"while (i < 10)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Without CD annotations there are no dashed edges.
+	sb.Reset()
+	if err := g.WriteDOT(&sb, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "style=dashed") {
+		t.Error("CD edges rendered despite withCD=false")
+	}
+}

@@ -1,0 +1,62 @@
+package cfg
+
+import (
+	"fmt"
+	"io"
+
+	"eol/internal/lang/ast"
+)
+
+// WriteDOT renders the function's CFG in Graphviz DOT format: boxes for
+// statements (diamonds for predicates), labeled True/False edges, and a
+// dashed annotation from each statement to the predicate it is directly
+// control dependent on.
+func (g *Graph) WriteDOT(w io.Writer, withCD bool) error {
+	name := "fn"
+	if g.Fn != nil {
+		name = g.Fn.Name
+	}
+	if _, err := fmt.Fprintf(w, "digraph cfg_%s {\n", name); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, `  node [fontname="monospace", fontsize=10];`)
+
+	label := func(n *Node) string {
+		switch n {
+		case g.Entry:
+			return "ENTRY"
+		case g.Exit:
+			return "EXIT"
+		}
+		return fmt.Sprintf("S%d %s", n.StmtID(), ast.StmtString(n.Stmt))
+	}
+	for _, n := range g.Nodes {
+		shape := "box"
+		if n.IsPredicate() {
+			shape = "diamond"
+		}
+		if n == g.Entry || n == g.Exit {
+			shape = "ellipse"
+		}
+		fmt.Fprintf(w, "  n%d [label=%q, shape=%s];\n", n.Idx, label(n), shape)
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.Succs {
+			attr := ""
+			if e.Label != None {
+				attr = fmt.Sprintf(` [label=%q]`, e.Label.String())
+			}
+			fmt.Fprintf(w, "  n%d -> n%d%s;\n", n.Idx, e.To.Idx, attr)
+		}
+	}
+	if withCD {
+		for _, n := range g.Nodes {
+			for _, cd := range n.CD {
+				fmt.Fprintf(w, "  n%d -> n%d [style=dashed, color=gray, label=\"cd/%s\"];\n",
+					n.Idx, cd.P.Idx, cd.Label)
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

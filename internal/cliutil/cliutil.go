@@ -1,0 +1,73 @@
+// Package cliutil holds small helpers shared by the command-line tools:
+// parsing input specifications and loading MiniC programs.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseInts parses a comma- or space-separated list of integers.
+func ParseInts(s string) ([]int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	vals := make([]int64, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseInt(f, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", f, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// TextToInput encodes a string as its byte values (the convention the
+// text-processing benchmark programs use).
+func TextToInput(s string) []int64 {
+	vals := make([]int64, len(s))
+	for i := 0; i < len(s); i++ {
+		vals[i] = int64(s[i])
+	}
+	return vals
+}
+
+// Input resolves the -input/-text flag pair: at most one may be set.
+func Input(ints, text string) ([]int64, error) {
+	if ints != "" && text != "" {
+		return nil, fmt.Errorf("use either -input or -text, not both")
+	}
+	if text != "" {
+		return TextToInput(text), nil
+	}
+	return ParseInts(ints)
+}
+
+// LoadSource reads a MiniC source file.
+func LoadSource(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// Fatalf prints to stderr and exits 1.
+func Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// FormatInts renders values as a comma-separated list.
+func FormatInts(vals []int64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,82 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int64
+		err  bool
+	}{
+		{"", nil, false},
+		{"  ", nil, false},
+		{"1,2,3", []int64{1, 2, 3}, false},
+		{"1 2 3", []int64{1, 2, 3}, false},
+		{"1, 2,\t3", []int64{1, 2, 3}, false},
+		{"-5,0x10", []int64{-5, 16}, false},
+		{"1,x", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseInts(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseInts(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.err && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseInts(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTextToInput(t *testing.T) {
+	got := TextToInput("ab\n")
+	if !reflect.DeepEqual(got, []int64{97, 98, 10}) {
+		t.Errorf("TextToInput = %v", got)
+	}
+	if TextToInput("") != nil && len(TextToInput("")) != 0 {
+		t.Error("empty text should yield empty input")
+	}
+}
+
+func TestInput(t *testing.T) {
+	if _, err := Input("1,2", "ab"); err == nil {
+		t.Error("both flags set must error")
+	}
+	got, err := Input("", "a")
+	if err != nil || !reflect.DeepEqual(got, []int64{97}) {
+		t.Errorf("text input = %v (%v)", got, err)
+	}
+	got, err = Input("7", "")
+	if err != nil || !reflect.DeepEqual(got, []int64{7}) {
+		t.Errorf("int input = %v (%v)", got, err)
+	}
+}
+
+func TestLoadSource(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.mc")
+	if err := os.WriteFile(path, []byte("func main() {}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := LoadSource(path)
+	if err != nil || src != "func main() {}" {
+		t.Errorf("LoadSource = %q (%v)", src, err)
+	}
+	if _, err := LoadSource(filepath.Join(dir, "missing.mc")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestFormatInts(t *testing.T) {
+	if got := FormatInts([]int64{1, -2, 3}); got != "1,-2,3" {
+		t.Errorf("FormatInts = %q", got)
+	}
+	if got := FormatInts(nil); got != "" {
+		t.Errorf("FormatInts(nil) = %q", got)
+	}
+}

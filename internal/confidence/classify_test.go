@@ -1,0 +1,154 @@
+package confidence
+
+import (
+	"math"
+	"testing"
+
+	"eol/internal/testsupport"
+)
+
+// classifySrc declares one statement per injectivity class; the tests
+// check how each consumer's mapping constrains its operand.
+const classifySrc = `
+var arr[8];
+func id(x) { return x; }
+func main() {
+    var a = read();
+    var b = read();
+    var copy = a;
+    var plus = a + 3;
+    var minusRev = 5 - a;
+    var xorc = a ^ 12;
+    var timesLit = a * 7;
+    var timesZero = a * 0;
+    var timesVar = a * b;
+    var neg = -a;
+    var inv = ~a;
+    var mod = a % 4;
+    var div = a / 4;
+    var mask = a & 3;
+    var cmp = a < 10;
+    var orr = a | b;
+    var shl = a << 2;
+    var both = a + a;
+    var called = id(a);
+    arr[a % 8] = b;
+    var notx = !a;
+    print(copy, plus, minusRev, xorc, timesLit, timesZero, timesVar, neg,
+          inv, mod, div, mask, cmp, orr, shl, both, called, notx);
+}`
+
+func classKindOf(t *testing.T, frag string) useClass {
+	t.Helper()
+	c := testsupport.Compile(t, classifySrc)
+	id := testsupport.StmtID(t, c, frag)
+	var aSym int = -1
+	for _, s := range c.Info.Symbols {
+		if s.Name == "a" {
+			aSym = s.ID
+		}
+	}
+	return classifyUse(c, id, aSym)
+}
+
+func TestClassifyInjective(t *testing.T) {
+	for _, frag := range []string{
+		"var copy = a",
+		"var plus = a + 3",
+		"var minusRev = 5 - a",
+		"var xorc = a ^ 12",
+		"var timesLit = a * 7",
+		"var neg = -a",
+		"var inv = ~a",
+		"var timesVar = a * b", // injective in a given b fixed... b may be 0;
+		// the structural rule only accepts literal multipliers — expect opaque.
+	} {
+		cls := classKindOf(t, frag)
+		want := classInjective
+		if frag == "var timesVar = a * b" {
+			want = classOpaque
+		}
+		if cls.kind != want {
+			t.Errorf("%q classified %v, want %v", frag, cls.kind, want)
+		}
+	}
+}
+
+func TestClassifyLossy(t *testing.T) {
+	cases := []struct {
+		frag string
+		kind classKind
+		k    int64
+	}{
+		{"var timesZero = a * 0", classOpaque, 0},
+		{"var mod = a % 4", classMod, 4},
+		{"var div = a / 4", classDiv, 4},
+		{"var mask = a & 3", classMask, 3},
+		{"var cmp = a < 10", classCompare, 0},
+		{"var orr = a | b", classOpaque, 0},
+		{"var shl = a << 2", classOpaque, 0},
+		{"var both = a + a", classOpaque, 0}, // two occurrences
+		{"var called = id(a)", classOpaque, 0},
+		{"arr[a % 8] = b", classOpaque, 0}, // used only as an index
+		{"var notx = !a", classCompare, 0},
+	}
+	for _, c := range cases {
+		cls := classKindOf(t, c.frag)
+		if cls.kind != c.kind {
+			t.Errorf("%q classified %v, want %v", c.frag, cls.kind, c.kind)
+			continue
+		}
+		if c.k != 0 && cls.k != c.k {
+			t.Errorf("%q parameter %d, want %d", c.frag, cls.k, c.k)
+		}
+	}
+}
+
+func TestFactorFormula(t *testing.T) {
+	// C = 1 - log|alt|/log|range|.
+	rng := 16
+	cases := []struct {
+		cls  useClass
+		want float64
+	}{
+		// %4: alt = 16/4 = 4 -> 1 - log4/log16 = 0.5
+		{useClass{kind: classMod, k: 4}, 0.5},
+		// /4: alt = 4 -> 0.5
+		{useClass{kind: classDiv, k: 4}, 0.5},
+		// compare: alt = 8 -> 1 - log8/log16 = 0.25
+		{useClass{kind: classCompare}, 0.25},
+		// opaque: no constraint
+		{useClass{kind: classOpaque}, 0},
+	}
+	for _, c := range cases {
+		got := c.cls.factor(rng)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("factor(%v, %d) = %v, want %v", c.cls.kind, rng, got, c.want)
+		}
+	}
+	// Injective-but-unpinned keeps most of the constraint.
+	if got := (useClass{kind: classInjective}).factor(rng); got < 0.8 {
+		t.Errorf("injective factor = %v, want close to 1", got)
+	}
+	// Degenerate ranges never divide by zero.
+	for _, cls := range []useClass{{kind: classMod, k: 2}, {kind: classCompare}} {
+		if f := cls.factor(2); f < 0 || f > 1 {
+			t.Errorf("factor out of range on tiny domain: %v", f)
+		}
+	}
+}
+
+func TestDegrade(t *testing.T) {
+	inj := useClass{kind: classInjective}
+	mod := useClass{kind: classMod, k: 4}
+	cmp := useClass{kind: classCompare}
+	if degrade(inj, mod) != mod {
+		t.Error("injective inner inherits outer")
+	}
+	if degrade(mod, inj) != mod {
+		t.Error("injective outer preserves inner")
+	}
+	if degrade(mod, cmp).kind != classOpaque {
+		t.Error("two lossy stages collapse to opaque")
+	}
+}

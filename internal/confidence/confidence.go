@@ -1,0 +1,601 @@
+// Package confidence implements confidence analysis — the pruning and
+// ranking substrate of the demand-driven locator, after "Pruning dynamic
+// slices with confidence" (Zhang et al., PLDI 2006) as used by the
+// PLDI 2007 paper.
+//
+// Each statement instance in the failing run receives a confidence value
+// in [0,1]: the likelihood that it produced a *correct* value, inferred
+// from the outputs the user has classified.
+//
+//   - Confidence 1 ("pinned") is established exactly: the values feeding
+//     correct outputs are correct, and correctness propagates backward
+//     through value mappings that are one-to-one in the operand (copy,
+//     ±, ^, * by nonzero literal, unary -/~) provided the remaining
+//     operands are themselves pinned. Instances the user marks benign are
+//     pinned directly.
+//   - Confidence 0 means no evidence: the instance influences only the
+//     wrong output (Fig. 4's statement 30).
+//   - Intermediate confidences follow the paper's range formula
+//     C = 1 − log|alt| / log|range|, with |range| taken from value
+//     profiles over passing test runs and |alt| estimated from the
+//     injectivity class of the consuming operation (Fig. 4's statement
+//     10: a many-to-one consumer like %k leaves range/k alternatives).
+//
+// Confidence propagates only along explicit and *verified implicit*
+// dependence edges — never along unverified potential edges, which is
+// precisely why the paper rejects the "relevant slicing + confidence"
+// shortcut (§3.2): a false potential edge would launder confidence onto
+// the root cause and sanitize it.
+package confidence
+
+import (
+	"math"
+	"sort"
+
+	"eol/internal/ddg"
+	"eol/internal/interp"
+	"eol/internal/lang/ast"
+	"eol/internal/lang/token"
+	"eol/internal/trace"
+)
+
+// Profile holds value profiles: the set of values each statement was
+// observed to produce across (passing) test executions. Range sizes feed
+// the C = 1 − log|alt|/log|range| estimate.
+type Profile struct {
+	values map[int]map[int64]bool
+}
+
+// NewProfile creates an empty profile.
+func NewProfile() *Profile { return &Profile{values: map[int]map[int64]bool{}} }
+
+// AddTrace records the produced value of every defining instance.
+func (p *Profile) AddTrace(t *trace.Trace) {
+	for i := 0; i < t.Len(); i++ {
+		e := t.At(i)
+		if len(e.Defs) == 0 {
+			continue
+		}
+		m := p.values[e.Inst.Stmt]
+		if m == nil {
+			m = map[int64]bool{}
+			p.values[e.Inst.Stmt] = m
+		}
+		m[e.Value] = true
+	}
+}
+
+// Values returns the observed values for stmt (unspecified order).
+func (p *Profile) Values(stmt int) []int64 {
+	if p == nil {
+		return nil
+	}
+	var vs []int64
+	for v := range p.values[stmt] {
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// Range returns the observed value-range size for stmt, at least 2 (a
+// singleton or unobserved statement still has an unknown domain).
+func (p *Profile) Range(stmt int) int {
+	if p == nil {
+		return 2
+	}
+	n := len(p.values[stmt])
+	if n < 2 {
+		return 2
+	}
+	return n
+}
+
+// Analyzer computes confidences for one failing execution.
+type Analyzer struct {
+	C       *interp.Compiled
+	G       *ddg.Graph
+	Profile *Profile
+
+	// CorrectOuts are output events the user classified as correct;
+	// WrongOut is the first wrong output.
+	CorrectOuts []trace.Output
+	WrongOut    trace.Output
+
+	// Kinds selects the dependence edges confidence flows along. It must
+	// include only explicit and verified-implicit kinds — unless Naive is
+	// set for the ablation below.
+	Kinds ddg.Kind
+
+	// Naive enables the "relevant slicing + confidence" shortcut the
+	// paper warns against (§3.2): confidence-1 propagates across
+	// *unverified potential* edges, and a confirmed predicate outcome
+	// pins its operands. Used only by the ablation harness to demonstrate
+	// that this sanitizes root causes.
+	Naive bool
+
+	benign map[int]bool
+
+	// results of the last Compute
+	conf   map[int]float64
+	slice  map[int]bool
+	pinned map[int]bool
+	dist   map[int]int
+}
+
+// New prepares an analyzer over graph g with the classified outputs.
+func New(c *interp.Compiled, g *ddg.Graph, prof *Profile, correct []trace.Output, wrong trace.Output) *Analyzer {
+	return &Analyzer{
+		C: c, G: g, Profile: prof,
+		CorrectOuts: correct, WrongOut: wrong,
+		Kinds:  ddg.Explicit | ddg.Implicit | ddg.StrongImplicit,
+		benign: map[int]bool{},
+	}
+}
+
+// MarkBenign pins entry at confidence 1 (the user inspected its program
+// state and found it correct). Compute must be re-run afterwards.
+func (a *Analyzer) MarkBenign(entry int) { a.benign[entry] = true }
+
+// Benign reports whether entry was marked benign.
+func (a *Analyzer) Benign(entry int) bool { return a.benign[entry] }
+
+// Compute (re)computes confidences over the current graph and benign set.
+func (a *Analyzer) Compute() {
+	t := a.G.T
+	a.slice = a.G.BackwardSlice(a.Kinds, a.WrongOut.Entry)
+	a.dist = a.G.Distances(a.Kinds, a.WrongOut.Entry)
+
+	// Entries influencing at least one correct output.
+	correctClosure := map[int]bool{}
+	for _, o := range a.CorrectOuts {
+		for e := range a.G.BackwardSlice(a.Kinds, o.Entry) {
+			correctClosure[e] = true
+		}
+	}
+
+	// Exact pass: pinned set.
+	a.pinned = a.computePinned(correctClosure)
+
+	// Fractional pass, in reverse execution order so consumers are done
+	// before their producers. Build the forward consumer lists once.
+	type consumer struct {
+		entry int
+		kind  ddg.Kind
+		sym   int
+		elem  int64
+	}
+	consumers := make([][]consumer, t.Len())
+	var buf []ddg.Edge
+	for i := 0; i < t.Len(); i++ {
+		e := t.At(i)
+		for _, u := range e.Uses {
+			if u.Def >= 0 {
+				consumers[u.Def] = append(consumers[u.Def],
+					consumer{entry: i, kind: ddg.Data, sym: u.Sym, elem: u.Elem})
+			}
+		}
+		buf = a.G.Deps(i, a.Kinds&^ddg.Explicit, buf[:0])
+		for _, ed := range buf {
+			consumers[ed.To] = append(consumers[ed.To], consumer{entry: i, kind: ed.Kind})
+		}
+	}
+
+	a.conf = map[int]float64{}
+	for i := t.Len() - 1; i >= 0; i-- {
+		if a.pinned[i] {
+			a.conf[i] = 1
+			continue
+		}
+		if !correctClosure[i] {
+			a.conf[i] = 0 // no evidence of correctness (Fig. 4's C=0 case)
+			continue
+		}
+		best := 0.0
+		r := a.Profile.Range(t.At(i).Inst.Stmt)
+		for _, c := range consumers[i] {
+			cc, ok := a.conf[c.entry]
+			if !ok {
+				continue
+			}
+			var phi float64
+			if c.kind == ddg.Data {
+				cls := classifyUse(a.C, t.At(c.entry).Inst.Stmt, c.sym)
+				phi = cls.factor(r)
+			} else {
+				// verified implicit edge: the consumer's branch outcome
+				// constrains the producer like a comparison would
+				phi = useClass{kind: classCompare}.factor(r)
+			}
+			if v := cc * phi; v > best {
+				best = v
+			}
+		}
+		if best > 1 {
+			best = 1
+		}
+		if best >= 1 {
+			best = 0.999 // exact 1 is reserved for the pinned set
+		}
+		a.conf[i] = best
+	}
+	for b := range a.benign {
+		a.conf[b] = 1
+	}
+}
+
+// computePinned runs the exact one-to-one fixpoint.
+func (a *Analyzer) computePinned(correctClosure map[int]bool) map[int]bool {
+	t := a.G.T
+	pinned := map[int]bool{}
+	for b := range a.benign {
+		pinned[b] = true
+	}
+	// Seeds: definitions directly feeding a correct output. Print
+	// statements are injective in each printed value, so the def of each
+	// use of a correct print entry whose value was observed correct is
+	// pinned. A print entry that produced the wrong output is never a
+	// seed source for its wrong argument.
+	wrongEntry, wrongArg := a.WrongOut.Entry, a.WrongOut.Arg
+	for _, o := range a.CorrectOuts {
+		if o.Entry == wrongEntry {
+			continue // the failing print instance is never evidence
+		}
+		_ = wrongArg
+		// The print instance itself was observed correct.
+		pinned[o.Entry] = true
+		// The printed value is Value of the def of the o.Arg-th use...
+		// print arguments may be arbitrary expressions; only pin defs
+		// when the argument is a direct variable read, i.e. the def's
+		// produced value equals the printed value.
+		for _, u := range t.At(o.Entry).Uses {
+			if u.Def >= 0 && t.At(u.Def).Value == o.Value {
+				pinned[u.Def] = true
+			}
+		}
+	}
+
+	// Fixpoint: pinned consumer + injective-in-operand + other operands
+	// pinned => operand's def pinned. In Naive mode, pinned entries also
+	// pin across unverified potential edges (the §3.2 pitfall).
+	var buf []ddg.Edge
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < t.Len(); i++ {
+			if !pinned[i] {
+				continue
+			}
+			if a.Naive {
+				buf = a.G.Deps(i, ddg.Potential, buf[:0])
+				for _, ed := range buf {
+					if !pinned[ed.To] {
+						pinned[ed.To] = true
+						changed = true
+					}
+				}
+			}
+			e := t.At(i)
+			if len(e.Defs) == 0 && len(e.Uses) == 0 {
+				continue
+			}
+			for _, u := range e.Uses {
+				if u.Def < 0 || pinned[u.Def] {
+					continue
+				}
+				cls := classifyUse(a.C, e.Inst.Stmt, u.Sym)
+				if a.Naive && cls.kind == classCompare {
+					// A "confirmed" predicate outcome is naively taken to
+					// confirm its operand.
+					cls = useClass{kind: classInjective}
+				}
+				if cls.kind != classInjective {
+					continue
+				}
+				othersPinned := true
+				for _, v := range e.Uses {
+					if v.Sym != u.Sym && v.Def >= 0 && !pinned[v.Def] {
+						othersPinned = false
+						break
+					}
+				}
+				if othersPinned {
+					pinned[u.Def] = true
+					changed = true
+				}
+			}
+		}
+	}
+	_ = correctClosure
+	return pinned
+}
+
+// Confidence returns the confidence of entry (after Compute).
+func (a *Analyzer) Confidence(entry int) float64 { return a.conf[entry] }
+
+// Slice returns the current slice of the wrong output (after Compute).
+func (a *Analyzer) Slice() map[int]bool { return a.slice }
+
+// Candidate is a ranked fault candidate.
+type Candidate struct {
+	Entry int
+	Conf  float64
+	Dist  int
+}
+
+// FaultCandidates returns the pruned slice as a ranked list: entries of
+// the wrong output's slice with confidence < 1, most suspicious first
+// (lowest confidence, then smallest dependence distance to the failure,
+// then latest execution).
+func (a *Analyzer) FaultCandidates() []Candidate {
+	var res []Candidate
+	for e := range a.slice {
+		if a.conf[e] >= 1 {
+			continue
+		}
+		d, ok := a.dist[e]
+		if !ok {
+			d = math.MaxInt32
+		}
+		res = append(res, Candidate{Entry: e, Conf: a.conf[e], Dist: d})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Conf != res[j].Conf {
+			return res[i].Conf < res[j].Conf
+		}
+		if res[i].Dist != res[j].Dist {
+			return res[i].Dist < res[j].Dist
+		}
+		return res[i].Entry > res[j].Entry
+	})
+	return res
+}
+
+// PrunedStats summarizes the pruned slice in static/dynamic terms.
+func (a *Analyzer) PrunedStats() ddg.SliceStats {
+	pruned := map[int]bool{}
+	for e := range a.slice {
+		if a.conf[e] < 1 {
+			pruned[e] = true
+		}
+	}
+	return a.G.Stats(pruned)
+}
+
+// ---------------------------------------------------------------------------
+// Injectivity classification
+
+type classKind int
+
+const (
+	classInjective classKind = iota
+	classMod                 // v % k: k residue classes survive
+	classDiv                 // v / k: result pins v to a window of k values
+	classMask                // v & m: popcount(m) bits survive
+	classCompare             // relational/boolean outcome: one bit
+	classOpaque              // calls, multiple occurrences, unsupported ops
+)
+
+type useClass struct {
+	kind classKind
+	k    int64 // parameter for Mod/Div/Mask
+}
+
+// factor converts the class into the paper's confidence formula
+// C = 1 − log|alt|/log|range| for a consumer with a pinned result.
+func (c useClass) factor(rng int) float64 {
+	r := float64(rng)
+	logr := math.Log(r)
+	frac := func(alt float64) float64 {
+		if alt <= 1 {
+			return 1
+		}
+		if alt >= r {
+			return 0
+		}
+		return 1 - math.Log(alt)/logr
+	}
+	switch c.kind {
+	case classInjective:
+		// Injective but the exact pass could not pin it (other operands
+		// unpinned): most of the constraint survives.
+		return frac(1.5)
+	case classMod:
+		k := float64(c.k)
+		if k < 2 {
+			return 0
+		}
+		return frac(r / k)
+	case classDiv:
+		return frac(float64(c.k))
+	case classMask:
+		bits := float64(popcount(uint64(c.k)))
+		return frac(r / math.Max(2, math.Pow(2, bits)))
+	case classCompare:
+		return frac(r / 2)
+	}
+	return 0
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// classifyUse determines how statement stmt's produced value constrains
+// the value it read from symbol sym: the injectivity class of the value
+// mapping from that operand to the statement's result.
+func classifyUse(c *interp.Compiled, stmt, sym int) useClass {
+	s := c.Info.Stmt(stmt)
+	if s == nil || sym < 0 {
+		return useClass{kind: classOpaque}
+	}
+	var expr ast.Expr
+	switch n := s.(type) {
+	case *ast.AssignStmt:
+		if n.Op != token.ASSIGN {
+			// compound assignment: result mixes old value and RHS; both
+			// operands relate injectively for +=/-=/^=.
+			switch n.Op.AssignOp() {
+			case token.ADD, token.SUB, token.XOR:
+				return useClass{kind: classInjective}
+			default:
+				return useClass{kind: classOpaque}
+			}
+		}
+		expr = n.RHS
+	case *ast.VarDeclStmt:
+		expr = n.Init
+	case *ast.ReturnStmt:
+		expr = n.Value
+	case *ast.PrintStmt:
+		return useClass{kind: classInjective} // printed values are observed directly
+	case *ast.IfStmt, *ast.WhileStmt, *ast.ForStmt:
+		return useClass{kind: classCompare} // only the outcome bit is known
+	default:
+		return useClass{kind: classOpaque}
+	}
+	if expr == nil {
+		return useClass{kind: classOpaque}
+	}
+	// Also account for index reads on the LHS of array assignments: a
+	// value used only as an index is opaque from the result's viewpoint.
+	occ := countOccurrences(c, expr, sym)
+	if occ == 0 {
+		return useClass{kind: classOpaque} // used elsewhere in the stmt (index, call arg)
+	}
+	if occ > 1 {
+		return useClass{kind: classOpaque}
+	}
+	cls, ok := classifyExpr(c, expr, sym)
+	if !ok {
+		return useClass{kind: classOpaque}
+	}
+	return cls
+}
+
+// countOccurrences counts reads of sym inside e (variable or array base).
+func countOccurrences(c *interp.Compiled, e ast.Expr, sym int) int {
+	n := 0
+	var walk func(x ast.Expr)
+	walk = func(x ast.Expr) {
+		switch v := x.(type) {
+		case nil:
+		case *ast.Ident:
+			if s := c.Info.Uses[v]; s != nil && s.ID == sym {
+				n++
+			}
+		case *ast.IndexExpr:
+			if s := c.Info.Uses[v.X]; s != nil && s.ID == sym {
+				n++
+			}
+			walk(v.Index)
+		case *ast.UnaryExpr:
+			walk(v.X)
+		case *ast.BinaryExpr:
+			walk(v.X)
+			walk(v.Y)
+		case *ast.CallExpr:
+			for _, a := range v.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return n
+}
+
+// classifyExpr computes the injectivity class of e in sym, assuming sym
+// occurs exactly once. Returns ok == false if sym does not occur in e.
+func classifyExpr(c *interp.Compiled, e ast.Expr, sym int) (useClass, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if s := c.Info.Uses[x]; s != nil && s.ID == sym {
+			return useClass{kind: classInjective}, true
+		}
+	case *ast.IndexExpr:
+		if s := c.Info.Uses[x.X]; s != nil && s.ID == sym {
+			return useClass{kind: classInjective}, true
+		}
+		if _, ok := classifyExpr(c, x.Index, sym); ok {
+			return useClass{kind: classOpaque}, true // sym selects the element
+		}
+	case *ast.UnaryExpr:
+		if cls, ok := classifyExpr(c, x.X, sym); ok {
+			switch x.Op {
+			case token.SUB, token.TILD:
+				return cls, true
+			case token.NOT:
+				return degrade(cls, useClass{kind: classCompare}), true
+			}
+		}
+	case *ast.BinaryExpr:
+		inX, okX := classifyExpr(c, x.X, sym)
+		inY, okY := classifyExpr(c, x.Y, sym)
+		if !okX && !okY {
+			return useClass{}, false
+		}
+		var inner useClass
+		var other ast.Expr
+		if okX {
+			inner, other = inX, x.Y
+		} else {
+			inner, other = inY, x.X
+		}
+		switch x.Op {
+		case token.ADD, token.SUB, token.XOR:
+			return inner, true
+		case token.MUL:
+			if lit, ok := other.(*ast.IntLit); ok && lit.Value != 0 {
+				return inner, true
+			}
+			return degrade(inner, useClass{kind: classOpaque}), true
+		case token.REM:
+			if okX {
+				if lit, ok := other.(*ast.IntLit); ok && lit.Value > 1 {
+					return degrade(inner, useClass{kind: classMod, k: lit.Value}), true
+				}
+			}
+			return degrade(inner, useClass{kind: classOpaque}), true
+		case token.QUO:
+			if okX {
+				if lit, ok := other.(*ast.IntLit); ok && lit.Value > 1 {
+					return degrade(inner, useClass{kind: classDiv, k: lit.Value}), true
+				}
+			}
+			return degrade(inner, useClass{kind: classOpaque}), true
+		case token.AND:
+			if lit, ok := other.(*ast.IntLit); ok {
+				return degrade(inner, useClass{kind: classMask, k: lit.Value}), true
+			}
+			return degrade(inner, useClass{kind: classOpaque}), true
+		case token.SHL, token.SHR, token.OR:
+			return degrade(inner, useClass{kind: classOpaque}), true
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return degrade(inner, useClass{kind: classCompare}), true
+		}
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			if _, ok := classifyExpr(c, a, sym); ok {
+				return useClass{kind: classOpaque}, true
+			}
+		}
+	}
+	return useClass{}, false
+}
+
+// degrade composes an inner class with an outer constraint: an injective
+// inner mapping inherits the outer class; anything weaker becomes opaque
+// (two lossy stages are not tracked).
+func degrade(inner, outer useClass) useClass {
+	if inner.kind == classInjective {
+		return outer
+	}
+	if outer.kind == classInjective {
+		return inner
+	}
+	return useClass{kind: classOpaque}
+}

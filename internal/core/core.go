@@ -1,0 +1,396 @@
+// Package core implements the demand-driven fault localization procedure
+// of the PLDI 2007 paper (Algorithm 2, LocateFault): the paper's primary
+// contribution.
+//
+// The procedure interleaves two steps until the root cause enters the
+// fault candidate set:
+//
+//  1. PruneSlicing — confidence analysis plus a scripted interactive
+//     pruning pass: candidates are presented in rank order and the user
+//     (an Oracle here) marks instances with benign program state, which
+//     pins them and re-propagates, until every remaining candidate has
+//     corrupted state.
+//  2. Expansion — the top-ranked corrupted use u is selected, its
+//     potential dependences PD(u) (Definition 1) are verified one by one
+//     through predicate switching, and the verified (strong) implicit
+//     edges are added to the dependence graph. Strong implicit
+//     dependences override plain ones (Algorithm 2 lines 10-11). For
+//     every predicate that verified, the other uses potentially
+//     depending on it are verified too (Fig. 5: this enables confidence
+//     to flow and prune), then the slice is re-pruned.
+//
+// The run records the effectiveness counters of Table 3: user prunings,
+// verifications, iterations, and expanded edges.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"eol/internal/confidence"
+	"eol/internal/ddg"
+	"eol/internal/implicit"
+	"eol/internal/interp"
+	"eol/internal/slicing"
+	"eol/internal/trace"
+)
+
+// Oracle abstracts the programmer's two roles in Algorithm 2: judging
+// whether a presented instance's program state is benign, and knowing the
+// expected value at the failure point (vexp).
+type Oracle interface {
+	// IsBenign reports whether the program state produced at the given
+	// trace entry is correct.
+	IsBenign(t *trace.Trace, entry int) bool
+}
+
+// ChainOracle is the scripted user of the paper's evaluation protocol:
+// instances on the known failure-inducing chain (OS) have corrupted
+// state; everything else presented is declared benign.
+type ChainOracle struct {
+	OS map[trace.Instance]bool
+}
+
+// NewChainOracle builds the oracle from the OS instance list.
+func NewChainOracle(os []trace.Instance) *ChainOracle {
+	m := make(map[trace.Instance]bool, len(os))
+	for _, i := range os {
+		m[i] = true
+	}
+	return &ChainOracle{OS: m}
+}
+
+// IsBenign implements Oracle.
+func (o *ChainOracle) IsBenign(t *trace.Trace, entry int) bool {
+	return !o.OS[t.At(entry).Inst]
+}
+
+// neverBenign is the default when no Oracle is supplied: no interactive
+// pruning happens (every instance is treated as potentially corrupted).
+type neverBenign struct{}
+
+// IsBenign always answers false.
+func (neverBenign) IsBenign(*trace.Trace, int) bool { return false }
+
+// Spec describes one localization problem.
+type Spec struct {
+	// Program is the compiled faulty program.
+	Program *interp.Compiled
+	// Input is the failing input.
+	Input []int64
+	// Expected is the correct output sequence (from the test oracle).
+	Expected []int64
+	// RootCause lists the statement IDs that constitute the fault; the
+	// search stops when any of them enters the fault candidate set.
+	RootCause []int
+	// Oracle answers benign-state queries; defaults to an oracle that
+	// never prunes.
+	Oracle Oracle
+	// Profile supplies value ranges for confidence analysis (optional).
+	Profile *confidence.Profile
+	// MaxIterations bounds the expansion loop (default 10).
+	MaxIterations int
+	// PathMode selects the safe path-based VerifyDep variant.
+	PathMode bool
+	// PerturbFallback enables value perturbation (the paper's §5
+	// proposal) when predicate switching exposes no dependence — closing
+	// the nested-predicate soundness gap of Table 5(b) at extra cost.
+	PerturbFallback bool
+	// CrossFunctionPD extends potential dependences across function
+	// boundaries for globals, so callee-side omissions become reachable
+	// (more candidates to verify, fewer blind spots).
+	CrossFunctionPD bool
+	// BudgetFactor for switched re-executions (default 10).
+	BudgetFactor int
+}
+
+// Report is the outcome of LocateFault, carrying the Table 3 counters.
+type Report struct {
+	// Located reports whether a root-cause instance entered the fault
+	// candidate set.
+	Located bool
+	// RootEntry is the trace index of the located root-cause instance.
+	RootEntry int
+
+	// Counters, in the paper's Table 3 terms.
+	UserPrunings  int
+	Verifications int
+	Iterations    int
+	ExpandedEdges int
+
+	// IPS is the final pruned expanded slice (instances with confidence
+	// < 1 in the wrong output's expanded slice). IPSEntries is ranked
+	// most-suspicious-first; IPSConfidence holds the matching confidence
+	// values.
+	IPS           ddg.SliceStats
+	IPSEntries    []int
+	IPSConfidence []float64
+
+	// WrongOutput is the failure observation; Vexp its expected value.
+	WrongOutput trace.Output
+	Vexp        int64
+
+	// VerifyLog records every verification performed, in order.
+	VerifyLog []implicit.LogEntry
+
+	// Trace and Graph expose the analyzed execution for reporting.
+	Trace *trace.Trace
+	Graph *ddg.Graph
+}
+
+// ErrNoFailure is returned when the program's output matches Expected.
+var ErrNoFailure = errors.New("program output matches the expected output")
+
+// ErrMissingOutput is returned when the failure is a truncated output
+// stream rather than a wrong value; the technique needs a wrong value to
+// slice from.
+var ErrMissingOutput = errors.New("failure is a missing output, not a wrong value")
+
+// Locate runs the full demand-driven procedure on spec.
+func Locate(spec *Spec) (*Report, error) {
+	if spec.Oracle == nil {
+		spec.Oracle = neverBenign{}
+	}
+	maxIter := spec.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10
+	}
+
+	// The failing run ("Graph" construction in Table 4 terms).
+	run := interp.Run(spec.Program, interp.Options{Input: spec.Input, BuildTrace: true})
+	if run.Err != nil {
+		return nil, fmt.Errorf("failing run aborted: %w", run.Err)
+	}
+	tr := run.Trace
+
+	seq, missing, ok := slicing.FirstWrongOutput(run.OutputValues(), spec.Expected)
+	if !ok {
+		return nil, ErrNoFailure
+	}
+	if missing {
+		return nil, ErrMissingOutput
+	}
+	wrong := *tr.OutputAt(seq)
+	var correct []trace.Output
+	for i := 0; i < seq; i++ {
+		correct = append(correct, *tr.OutputAt(i))
+	}
+	// When the failure is an EXTRA output (the faulty run printed more
+	// than expected), there is no expected value at the failure point:
+	// strong-implicit-dependence checks are disabled and plain implicit
+	// verification carries the run.
+	var vexp int64
+	hasVexp := seq < len(spec.Expected)
+	if hasVexp {
+		vexp = spec.Expected[seq]
+	}
+
+	g := ddg.New(tr)
+	cx := slicing.NewContext(spec.Program, tr)
+	cx.CrossFunction = spec.CrossFunctionPD
+	an := confidence.New(spec.Program, g, spec.Profile, correct, wrong)
+	ver := &implicit.Verifier{
+		C: spec.Program, Input: spec.Input, Orig: tr,
+		WrongOut: wrong, Vexp: vexp, HasVexp: hasVexp,
+		PathMode: spec.PathMode, BudgetFactor: spec.BudgetFactor,
+	}
+
+	rep := &Report{WrongOutput: wrong, Vexp: vexp, Trace: tr, Graph: g}
+
+	l := &locator{spec: spec, cx: cx, an: an, ver: ver, rep: rep,
+		pdCache: map[int][]slicing.PDep{}, judged: map[int]bool{}}
+
+	// Initial PruneSlicing (Algorithm 2 line 3).
+	l.pruneSlicing()
+
+	expanded := map[int]bool{}
+	for iter := 0; iter < maxIter; iter++ {
+		if l.rootInCandidates() {
+			break
+		}
+		added := false
+		// Select uses u from PS by rank until one yields edges
+		// (Algorithm 2 lines 5-18).
+		for _, cand := range l.an.FaultCandidates() {
+			if expanded[cand.Entry] {
+				continue
+			}
+			expanded[cand.Entry] = true
+			if l.expand(cand.Entry) {
+				added = true
+				break
+			}
+		}
+		if !added && spec.PerturbFallback {
+			added = l.perturbFallback()
+		}
+		if !added {
+			break // no unexpanded candidates produced edges: give up
+		}
+		rep.Iterations++
+		l.pruneSlicing() // Algorithm 2 line 19
+	}
+
+	l.finish()
+	rep.Verifications = ver.Verifications
+	rep.VerifyLog = ver.Log
+	return rep, nil
+}
+
+type locator struct {
+	spec    *Spec
+	cx      *slicing.Context
+	an      *confidence.Analyzer
+	ver     *implicit.Verifier
+	rep     *Report
+	pdCache map[int][]slicing.PDep
+	judged  map[int]bool // entries already answered "corrupted" by the user
+
+	boundaryVals []int64 // memoized perturbation probe values
+}
+
+func (l *locator) pd(entry int) []slicing.PDep {
+	if pds, ok := l.pdCache[entry]; ok {
+		return pds
+	}
+	pds := l.cx.PotentialDeps(entry)
+	l.pdCache[entry] = pds
+	return pds
+}
+
+// pruneSlicing is the interactive pruning pass: present candidates in
+// rank order; benign answers pin the instance and re-rank, corrupted
+// answers are remembered. It stops when every candidate is judged
+// corrupted.
+func (l *locator) pruneSlicing() {
+	l.an.Compute()
+	for {
+		repeat := false
+		for _, cand := range l.an.FaultCandidates() {
+			if l.judged[cand.Entry] {
+				continue
+			}
+			if l.spec.Oracle.IsBenign(l.cx.T, cand.Entry) {
+				l.rep.UserPrunings++
+				l.an.MarkBenign(cand.Entry)
+				l.an.Compute()
+				repeat = true
+				break
+			}
+			l.judged[cand.Entry] = true
+		}
+		if !repeat {
+			return
+		}
+	}
+}
+
+// rootInCandidates reports whether a root-cause instance is in the
+// current fault candidate set.
+func (l *locator) rootInCandidates() bool {
+	for _, cand := range l.an.FaultCandidates() {
+		stmt := l.cx.T.At(cand.Entry).Inst.Stmt
+		for _, rc := range l.spec.RootCause {
+			if stmt == rc {
+				l.rep.Located = true
+				l.rep.RootEntry = cand.Entry
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expand verifies PD(u) and adds the verified (strong) implicit edges,
+// including the sibling uses of each verified predicate (Fig. 5).
+// It reports whether any edge was added.
+func (l *locator) expand(u int) bool {
+	pds := l.pd(u)
+	if len(pds) == 0 {
+		return false
+	}
+
+	// Group by verdict (Algorithm 2 lines 6-9).
+	byVerdict := map[implicit.Verdict][]slicing.PDep{}
+	for _, pd := range pds {
+		v := l.ver.Verify(implicit.Request{
+			Pred: pd.Pred, Use: u, UseSym: pd.UseSym, UseElem: pd.UseElem,
+		})
+		byVerdict[v] = append(byVerdict[v], pd)
+	}
+	kind := ddg.StrongImplicit
+	verdict := implicit.StrongID
+	group := byVerdict[implicit.StrongID]
+	if len(group) == 0 {
+		kind = ddg.Implicit
+		verdict = implicit.ID
+		group = byVerdict[implicit.ID]
+	}
+	if len(group) == 0 {
+		return false
+	}
+
+	// Add edges for u itself, then verify sibling uses t with
+	// p ∈ PD(t) (Algorithm 2 lines 12-18).
+	added := false
+	for _, pd := range group {
+		l.rep.Graph.AddEdge(u, pd.Pred, kind)
+		l.rep.ExpandedEdges++
+		added = true
+		for _, t := range l.siblingUses(pd.Pred, u) {
+			for _, tpd := range l.pd(t) {
+				if tpd.Pred != pd.Pred {
+					continue
+				}
+				v := l.ver.Verify(implicit.Request{
+					Pred: tpd.Pred, Use: t, UseSym: tpd.UseSym, UseElem: tpd.UseElem,
+				})
+				if v == verdict {
+					l.rep.Graph.AddEdge(t, tpd.Pred, kind)
+					l.rep.ExpandedEdges++
+				}
+			}
+		}
+	}
+	return added
+}
+
+// siblingUses enumerates other entries t that might potentially depend on
+// predicate instance p. To keep verification counts in check it considers
+// entries in the wrong output's slice and the correct outputs' closures —
+// the entries whose confidence matters for pruning.
+func (l *locator) siblingUses(p, u int) []int {
+	relevant := map[int]bool{}
+	for e := range l.an.Slice() {
+		relevant[e] = true
+	}
+	for _, o := range l.an.CorrectOuts {
+		for e := range l.rep.Graph.BackwardSlice(l.an.Kinds, o.Entry) {
+			relevant[e] = true
+		}
+	}
+	var res []int
+	for e := range relevant {
+		if e == u || e <= p {
+			continue
+		}
+		res = append(res, e)
+	}
+	return res
+}
+
+// finish computes the final IPS statistics.
+func (l *locator) finish() {
+	l.an.Compute()
+	cands := l.an.FaultCandidates()
+	ips := map[int]bool{}
+	for _, c := range cands {
+		ips[c.Entry] = true
+		l.rep.IPSEntries = append(l.rep.IPSEntries, c.Entry)
+		l.rep.IPSConfidence = append(l.rep.IPSConfidence, c.Conf)
+	}
+	l.rep.IPS = l.rep.Graph.Stats(ips)
+	if !l.rep.Located {
+		l.rootInCandidates()
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"eol/internal/confidence"
+	"eol/internal/ddg"
+	"eol/internal/interp"
+	"eol/internal/lang/ast"
+	"eol/internal/testsupport"
+	"eol/internal/trace"
+)
+
+// fig1Spec builds the localization problem for the paper's Figure 1
+// worked example, with the scripted user knowing the failure-inducing
+// chain OS = {S1, S4, S6, S10} (in the paper's numbering).
+func fig1Spec(t *testing.T) (*Spec, *interp.Compiled) {
+	t.Helper()
+	c := testsupport.Compile(t, testsupport.Fig1Faulty)
+	fixed := testsupport.Compile(t, testsupport.Fig1Fixed)
+	expected := testsupport.Run(t, fixed, testsupport.Fig1Input).OutputValues()
+
+	root := testsupport.StmtID(t, c, "read() * 0")
+	ifFlags := testsupport.StmtID(t, c, "if (saveOrigName)")
+	writeFlags := testsupport.StmtID(t, c, "outbuf[outcnt] = flags")
+	wrongPrint := testsupport.StmtID(t, c, "print(outbuf[1])")
+
+	os := []trace.Instance{
+		{Stmt: root, Occ: 1},
+		{Stmt: ifFlags, Occ: 1},
+		{Stmt: writeFlags, Occ: 1},
+		{Stmt: wrongPrint, Occ: 1},
+	}
+	return &Spec{
+		Program:   c,
+		Input:     testsupport.Fig1Input,
+		Expected:  expected,
+		RootCause: []int{root},
+		Oracle:    NewChainOracle(os),
+	}, c
+}
+
+// TestFig1Locate is the paper's end-to-end worked example: the locator
+// finds the root cause in one expansion iteration with few verifications
+// and a strong implicit edge.
+func TestFig1Locate(t *testing.T) {
+	spec, c := fig1Spec(t)
+	rep, err := Locate(spec)
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if !rep.Located {
+		t.Fatalf("root cause not located; IPS=%v prunings=%d verifs=%d iters=%d edges=%d",
+			rep.IPS, rep.UserPrunings, rep.Verifications, rep.Iterations, rep.ExpandedEdges)
+	}
+	root := testsupport.StmtID(t, c, "read() * 0")
+	if got := rep.Trace.At(rep.RootEntry).Inst.Stmt; got != root {
+		t.Errorf("located S%d, want S%d", got, root)
+	}
+	if rep.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1 (paper: gzip expands once)", rep.Iterations)
+	}
+	if rep.ExpandedEdges < 1 {
+		t.Errorf("expanded edges = %d, want ≥1", rep.ExpandedEdges)
+	}
+	if rep.Verifications < 1 || rep.Verifications > 20 {
+		t.Errorf("verifications = %d, want a small number", rep.Verifications)
+	}
+	// The added edge must be STRONG (switching S4 repairs the output).
+	if n := rep.Graph.NumExtraEdges(ddg.StrongImplicit); n < 1 {
+		t.Errorf("strong implicit edges = %d, want ≥1", n)
+	}
+	// The final IPS must contain the whole failure-inducing chain.
+	ifFlags := testsupport.StmtID(t, c, "if (saveOrigName)")
+	inIPS := map[int]bool{}
+	for _, e := range rep.IPSEntries {
+		inIPS[rep.Trace.At(e).Inst.Stmt] = true
+	}
+	for _, want := range []int{root, ifFlags} {
+		if !inIPS[want] {
+			t.Errorf("IPS missing S%d; have %v", want, inIPS)
+		}
+	}
+}
+
+// TestFig1FalseEdgeNotAdded: the S7→S10 potential dependence must not
+// survive into the graph (it fails verification).
+func TestFig1FalseEdgeNotAdded(t *testing.T) {
+	spec, c := fig1Spec(t)
+	rep, err := Locate(spec)
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	// Find the second if instance.
+	first := testsupport.StmtID(t, c, "if (saveOrigName)")
+	second := 0
+	for _, s := range c.Info.Stmts {
+		if s.ID() > first && ast.StmtString(s) == "if (saveOrigName)" {
+			second = s.ID()
+		}
+	}
+	secondIdx := rep.Trace.FindInstance(trace.Instance{Stmt: second, Occ: 1})
+	for i := 0; i < rep.Trace.Len(); i++ {
+		for _, e := range rep.Graph.ExtraEdges(i) {
+			if e.To == secondIdx && (e.Kind == ddg.Implicit || e.Kind == ddg.StrongImplicit) {
+				t.Errorf("false potential dependence on the second if was added as %v", e.Kind)
+			}
+		}
+	}
+}
+
+// TestNoFailure: matching output reports ErrNoFailure.
+func TestNoFailure(t *testing.T) {
+	c := testsupport.Compile(t, testsupport.Fig1Fixed)
+	expected := testsupport.Run(t, c, testsupport.Fig1Input).OutputValues()
+	_, err := Locate(&Spec{Program: c, Input: testsupport.Fig1Input, Expected: expected})
+	if !errors.Is(err, ErrNoFailure) {
+		t.Errorf("err = %v, want ErrNoFailure", err)
+	}
+}
+
+// TestMissingOutputRejected: truncated output is reported as unsupported.
+func TestMissingOutputRejected(t *testing.T) {
+	src := `
+func main() {
+    var x = read();
+    if (x > 0) {
+        print(1);
+    }
+}`
+	c := testsupport.Compile(t, src)
+	_, err := Locate(&Spec{Program: c, Input: []int64{0}, Expected: []int64{1}})
+	if !errors.Is(err, ErrMissingOutput) {
+		t.Errorf("err = %v, want ErrMissingOutput", err)
+	}
+}
+
+// TestExplicitErrorStillFound: for a plain (non-omission) value error the
+// root cause is already in the dynamic slice — zero iterations, zero
+// verifications.
+func TestExplicitErrorStillFound(t *testing.T) {
+	faulty := `
+func main() {
+    var a = read();
+    var b = a * 3;      // ROOT CAUSE: should be a * 2
+    print(a);
+    print(b);
+}`
+	c := testsupport.Compile(t, faulty)
+	root := testsupport.StmtID(t, c, "var b = a * 3")
+	pr := testsupport.StmtID(t, c, "print(b)")
+	rep, err := Locate(&Spec{
+		Program:   c,
+		Input:     []int64{5},
+		Expected:  []int64{5, 10},
+		RootCause: []int{root},
+		Oracle: NewChainOracle([]trace.Instance{
+			{Stmt: root, Occ: 1}, {Stmt: pr, Occ: 1},
+		}),
+	})
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if !rep.Located {
+		t.Fatal("explicit error not located")
+	}
+	if rep.Iterations != 0 || rep.Verifications != 0 {
+		t.Errorf("explicit error should need no expansion: iters=%d verifs=%d",
+			rep.Iterations, rep.Verifications)
+	}
+}
+
+// TestExpandVerifiesSiblingUses reproduces Fig. 5: when p → u verifies,
+// the other uses t with p ∈ PD(t) are verified too, so confidence can
+// flow through them and prune.
+func TestExpandVerifiesSiblingUses(t *testing.T) {
+	// Both t and u read variables that the if's other branch would have
+	// redefined. t feeds the correct output, u feeds the wrong one.
+	faulty := `
+func main() {
+    var cond = read() * 0;   // ROOT CAUSE: should be read()
+    var a = 1;
+    var b = 1;
+    if (cond) {
+        a = 2;
+        b = 2;
+    }
+    var t = a + 10;
+    var u = b + 20;
+    print(t);
+    print(u);
+}`
+	c := testsupport.Compile(t, faulty)
+	root := testsupport.StmtID(t, c, "read() * 0")
+	ifID := testsupport.StmtID(t, c, "if (cond)")
+	uDef := testsupport.StmtID(t, c, "var u = b + 20")
+	prU := testsupport.StmtID(t, c, "print(u)")
+
+	// Expected: correct run takes the branch: t=12, u=22. The faulty run
+	// prints t=11 (ALSO wrong) — to make print(t) correct we must expect
+	// 11 for it. Use an expectation where only u is wrong: expected t=11
+	// (user considers it fine), u=22.
+	rep, err := Locate(&Spec{
+		Program:   c,
+		Input:     []int64{1},
+		Expected:  []int64{11, 22},
+		RootCause: []int{root},
+		Oracle: NewChainOracle([]trace.Instance{
+			{Stmt: root, Occ: 1}, {Stmt: ifID, Occ: 1},
+			{Stmt: uDef, Occ: 1}, {Stmt: prU, Occ: 1},
+		}),
+	})
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if !rep.Located {
+		t.Fatal("root cause not located")
+	}
+	// The sibling use (var t = a + 10) must have received a verified
+	// edge to the if as well: it potentially depends on the same
+	// predicate, and its verification shares the verdict.
+	tDef := testsupport.StmtID(t, c, "var t = a + 10")
+	tIdx := rep.Trace.FindInstance(trace.Instance{Stmt: tDef, Occ: 1})
+	found := false
+	for _, e := range rep.Graph.ExtraEdges(tIdx) {
+		if e.Kind == ddg.Implicit || e.Kind == ddg.StrongImplicit {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sibling use t did not receive a verified implicit edge (Fig. 5)")
+	}
+}
+
+// TestProfileImprovesRanking: with a profile, fractional confidences are
+// computed but the locator still works.
+func TestProfileImprovesRanking(t *testing.T) {
+	spec, _ := fig1Spec(t)
+	prof := confidence.NewProfile()
+	fixed := testsupport.Compile(t, testsupport.Fig1Fixed)
+	for _, v := range []int64{0, 1} {
+		prof.AddTrace(testsupport.Run(t, fixed, []int64{v}).Trace)
+	}
+	spec.Profile = prof
+	rep, err := Locate(spec)
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if !rep.Located {
+		t.Fatal("root cause not located with profile")
+	}
+}
+
+// TestPathModeLocates: the safe path-based VerifyDep variant also locates
+// the Fig. 1 root cause.
+func TestPathModeLocates(t *testing.T) {
+	spec, _ := fig1Spec(t)
+	spec.PathMode = true
+	rep, err := Locate(spec)
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if !rep.Located {
+		t.Fatal("path mode failed to locate")
+	}
+}
+
+// TestChainOracle basics.
+func TestChainOracle(t *testing.T) {
+	c := testsupport.Compile(t, testsupport.Fig1Faulty)
+	r := testsupport.Run(t, c, testsupport.Fig1Input)
+	root := testsupport.StmtID(t, c, "read() * 0")
+	o := NewChainOracle([]trace.Instance{{Stmt: root, Occ: 1}})
+	rootIdx := r.Trace.FindInstance(trace.Instance{Stmt: root, Occ: 1})
+	if o.IsBenign(r.Trace, rootIdx) {
+		t.Error("root cause instance must not be benign")
+	}
+	other := r.Trace.FindInstance(trace.Instance{Stmt: testsupport.StmtID(t, c, "flags = 0"), Occ: 1})
+	if !o.IsBenign(r.Trace, other) {
+		t.Error("off-chain instance must be benign")
+	}
+}
+
+// TestExtraOutputFailure: when the faulty run prints MORE than expected,
+// there is no expected value at the failure point; the locator must
+// handle it (plain implicit verification, no strong checks) instead of
+// panicking. Regression test for a bug found by fault-injection testing.
+func TestExtraOutputFailure(t *testing.T) {
+	// The fault silences the break, so extra iterations print extra
+	// values beyond the expected stream.
+	faulty := `
+func main() {
+    var i = 0;
+    while (i < 4) {
+        if ((i == 2) && 0) {
+            break;
+        }
+        print(i);
+        i = i + 1;
+    }
+}`
+	c := testsupport.Compile(t, faulty)
+	root := testsupport.StmtID(t, c, "&& 0")
+	rep, err := Locate(&Spec{
+		Program:   c,
+		Input:     nil,
+		Expected:  []int64{0, 1, 2}, // correct run breaks at i==2
+		RootCause: []int{root},
+	})
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	// Wrong output = the extra print at seq 3; vexp unknown.
+	if rep.WrongOutput.Seq != 3 {
+		t.Errorf("wrong output seq = %d, want 3", rep.WrongOutput.Seq)
+	}
+	// No strong edges are possible without vexp.
+	if n := rep.Graph.NumExtraEdges(ddg.StrongImplicit); n != 0 {
+		t.Errorf("strong edges = %d without an expected value", n)
+	}
+	_ = rep
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"eol/internal/oracle"
+	"eol/internal/testsupport"
+)
+
+// table5bFaulty is the paper's Table 5(b) scenario as a full localization
+// problem: A is computed wrongly (5 instead of the input), so both nested
+// predicates take false and X keeps its stale value. Predicate switching
+// cannot expose the dependence (switching P1 alone leaves P2 false), so
+// the standard locator gives up; the §5 perturbation fallback probes A's
+// value across the comparison boundaries and finds it.
+const table5bFaulty = `
+func main() {
+    var A = read() * 0 + 5;   // ROOT CAUSE: should be read()
+    var X = 1;
+    if (A > 10) {
+        if (A > 100) {
+            X = 2;
+        }
+    }
+    print(X);
+}`
+
+var table5bFixed = strings.Replace(table5bFaulty,
+	"var A = read() * 0 + 5;", "var A = read();", 1)
+
+func table5bSpec(t *testing.T) *Spec {
+	t.Helper()
+	faulty := testsupport.Compile(t, table5bFaulty)
+	fixed := testsupport.Compile(t, table5bFixed)
+	input := []int64{200}
+	expected := testsupport.Run(t, fixed, input).OutputValues()
+	root := testsupport.StmtID(t, faulty, "read() * 0 + 5")
+	return &Spec{
+		Program:   faulty,
+		Input:     input,
+		Expected:  expected,
+		RootCause: []int{root},
+		Oracle:    &oracle.StateOracle{Correct: testsupport.Run(t, fixed, input).Trace},
+	}
+}
+
+// TestTable5bStandardLocatorFails: without the fallback, the documented
+// soundness gap makes the locator give up.
+func TestTable5bStandardLocatorFails(t *testing.T) {
+	spec := table5bSpec(t)
+	rep, err := Locate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Located {
+		t.Fatal("switching-only locator should miss the Table 5(b) root cause")
+	}
+}
+
+// TestTable5bPerturbationLocates: the fallback perturbs A across the
+// 10/100 comparison boundaries and exposes the hidden dependence.
+func TestTable5bPerturbationLocates(t *testing.T) {
+	spec := table5bSpec(t)
+	spec.PerturbFallback = true
+	rep, err := Locate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Located {
+		t.Fatalf("perturbation fallback failed; IPS=%v verifs=%d", rep.IPS, rep.Verifications)
+	}
+	if got := rep.Trace.At(rep.RootEntry).Inst.Stmt; got != spec.RootCause[0] {
+		t.Errorf("located S%d, want S%d", got, spec.RootCause[0])
+	}
+	if rep.ExpandedEdges < 1 {
+		t.Error("no edges added by the fallback")
+	}
+}
+
+// TestPerturbFallbackNotUsedWhenSwitchingSuffices: on Fig. 1 the fallback
+// changes nothing (switching already succeeds with the same counters).
+func TestPerturbFallbackNotUsedWhenSwitchingSuffices(t *testing.T) {
+	build := func(fallback bool) *Report {
+		c := testsupport.Compile(t, testsupport.Fig1Faulty)
+		fixed := testsupport.Compile(t, testsupport.Fig1Fixed)
+		expected := testsupport.Run(t, fixed, testsupport.Fig1Input).OutputValues()
+		root := testsupport.StmtID(t, c, "read() * 0")
+		rep, err := Locate(&Spec{
+			Program: c, Input: testsupport.Fig1Input, Expected: expected,
+			RootCause:       []int{root},
+			Oracle:          &oracle.StateOracle{Correct: testsupport.Run(t, fixed, testsupport.Fig1Input).Trace},
+			PerturbFallback: fallback,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	without := build(false)
+	with := build(true)
+	if !without.Located || !with.Located {
+		t.Fatal("both runs should locate")
+	}
+	if with.Verifications != without.Verifications {
+		t.Errorf("fallback changed verification count: %d vs %d",
+			with.Verifications, without.Verifications)
+	}
+}
+
+func TestComparisonLiterals(t *testing.T) {
+	c := testsupport.Compile(t, table5bFaulty)
+	lits := comparisonLiterals(c.Info)
+	found := map[int64]bool{}
+	for _, l := range lits {
+		found[l] = true
+	}
+	if !found[10] || !found[100] {
+		t.Errorf("literals = %v, want to include 10 and 100", lits)
+	}
+}
+
+// TestCrossFunctionLocate: an omission inside a callee (the predicate
+// suppressing a global write lives in setup(), the wrong value surfaces
+// in main) is invisible to intraprocedural PD but located with the
+// cross-function extension.
+func TestCrossFunctionLocate(t *testing.T) {
+	faulty := `
+var mode;
+
+func setup(request) {
+    if (request > 0) {
+        mode = 7;
+    }
+    return 0;
+}
+
+func main() {
+    var request = read() * 0;   // ROOT CAUSE: should be read()
+    mode = 1;
+    setup(request);
+    print(mode);
+}`
+	fixed := strings.Replace(faulty, "read() * 0", "read()", 1)
+	c := testsupport.Compile(t, faulty)
+	fx := testsupport.Compile(t, fixed)
+	input := []int64{5}
+	expected := testsupport.Run(t, fx, input).OutputValues()
+	root := testsupport.StmtID(t, c, "read() * 0")
+
+	base := &Spec{
+		Program: c, Input: input, Expected: expected,
+		RootCause: []int{root},
+		Oracle:    &oracle.StateOracle{Correct: testsupport.Run(t, fx, input).Trace},
+	}
+	rep, err := Locate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Located {
+		t.Fatal("intraprocedural PD should miss the callee-side omission")
+	}
+
+	ext := *base
+	ext.CrossFunctionPD = true
+	rep, err = Locate(&ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Located {
+		t.Fatalf("cross-function PD failed to locate; IPS=%v verifs=%d", rep.IPS, rep.Verifications)
+	}
+	if got := rep.Trace.At(rep.RootEntry).Inst.Stmt; got != root {
+		t.Errorf("located S%d, want S%d", got, root)
+	}
+}

@@ -1,0 +1,148 @@
+package ddg
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"eol/internal/trace"
+)
+
+// chainTrace builds a synthetic trace: e0 <- e1 <- e2 (data), with e2
+// control dependent on e1.
+func chainTrace() *trace.Trace {
+	t := trace.New()
+	t.Append(trace.Entry{Inst: trace.Instance{Stmt: 1, Occ: 1}, Parent: -1})
+	t.Append(trace.Entry{
+		Inst: trace.Instance{Stmt: 2, Occ: 1}, Parent: -1,
+		Uses: []trace.UseRec{{Sym: 0, Elem: trace.ScalarElem, Def: 0}},
+	})
+	t.Append(trace.Entry{
+		Inst: trace.Instance{Stmt: 3, Occ: 1}, Parent: 1,
+		Uses: []trace.UseRec{{Sym: 1, Elem: trace.ScalarElem, Def: 1}},
+	})
+	return t
+}
+
+func TestKinds(t *testing.T) {
+	names := map[Kind]string{
+		Data: "dd", Control: "cd", Potential: "pd",
+		Implicit: "id", StrongImplicit: "sid",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d renders %q, want %q", k, k.String(), want)
+		}
+	}
+	if Explicit != Data|Control {
+		t.Error("Explicit must be Data|Control")
+	}
+}
+
+func TestDeps(t *testing.T) {
+	g := New(chainTrace())
+	var buf []Edge
+	buf = g.Deps(2, Explicit, buf[:0])
+	// e2 has one data dep (on 1) and one control dep (on 1).
+	if len(buf) != 2 {
+		t.Fatalf("deps = %v", buf)
+	}
+	kinds := map[Kind]int{}
+	for _, e := range buf {
+		kinds[e.Kind]++
+		if e.To != 1 {
+			t.Errorf("dep target %d, want 1", e.To)
+		}
+	}
+	if kinds[Data] != 1 || kinds[Control] != 1 {
+		t.Errorf("kinds = %v", kinds)
+	}
+	// Restricting kinds filters.
+	buf = g.Deps(2, Control, buf[:0])
+	if len(buf) != 1 || buf[0].Kind != Control {
+		t.Errorf("control-only deps = %v", buf)
+	}
+}
+
+func TestBackwardSliceAndExtraEdges(t *testing.T) {
+	g := New(chainTrace())
+	s := g.BackwardSlice(Explicit, 2)
+	if !reflect.DeepEqual(s, map[int]bool{0: true, 1: true, 2: true}) {
+		t.Errorf("slice = %v", s)
+	}
+	// Restrict to data only from entry 1: {1, 0}.
+	s = g.BackwardSlice(Data, 1)
+	if !reflect.DeepEqual(s, map[int]bool{0: true, 1: true}) {
+		t.Errorf("data slice = %v", s)
+	}
+
+	// An implicit edge extends the closure.
+	g2 := New(chainTrace())
+	g2.AddEdge(0, 2, Implicit) // nonsensical direction is fine for the test
+	s = g2.BackwardSlice(Explicit|Implicit, 0)
+	if !s[2] {
+		t.Errorf("implicit edge not followed: %v", s)
+	}
+	// Duplicate adds are ignored.
+	g2.AddEdge(0, 2, Implicit)
+	if n := g2.NumExtraEdges(Implicit); n != 1 {
+		t.Errorf("extra edges = %d, want 1", n)
+	}
+	if n := g2.NumExtraEdges(StrongImplicit); n != 0 {
+		t.Errorf("strong edges = %d, want 0", n)
+	}
+	if es := g2.ExtraEdges(0); len(es) != 1 || es[0].To != 2 {
+		t.Errorf("ExtraEdges = %v", es)
+	}
+}
+
+func TestForwardReach(t *testing.T) {
+	g := New(chainTrace())
+	r := g.ForwardReach(Explicit, 0)
+	if !reflect.DeepEqual(r, map[int]bool{0: true, 1: true, 2: true}) {
+		t.Errorf("forward reach from 0 = %v", r)
+	}
+	r = g.ForwardReach(Explicit, 2)
+	if !reflect.DeepEqual(r, map[int]bool{2: true}) {
+		t.Errorf("forward reach from sink = %v", r)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	g := New(chainTrace())
+	d := g.Distances(Explicit, 2)
+	if d[2] != 0 || d[1] != 1 || d[0] != 2 {
+		t.Errorf("distances = %v", d)
+	}
+	if d := g.Distances(Explicit, -1); len(d) != 0 {
+		t.Errorf("invalid seed distances = %v", d)
+	}
+}
+
+func TestStatsAndHelpers(t *testing.T) {
+	tr := trace.New()
+	// two instances of stmt 1, one of stmt 2
+	tr.Append(trace.Entry{Inst: trace.Instance{Stmt: 1, Occ: 1}, Parent: -1})
+	tr.Append(trace.Entry{Inst: trace.Instance{Stmt: 1, Occ: 2}, Parent: -1})
+	tr.Append(trace.Entry{Inst: trace.Instance{Stmt: 2, Occ: 1}, Parent: -1})
+	g := New(tr)
+	slice := map[int]bool{0: true, 1: true, 2: true}
+	st := g.Stats(slice)
+	if st.Static != 2 || st.Dynamic != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !g.ContainsStmt(slice, 1) || !g.ContainsStmt(slice, 2) || g.ContainsStmt(slice, 3) {
+		t.Error("ContainsStmt broken")
+	}
+	ord := SortedEntries(map[int]bool{2: true, 0: true, 1: true})
+	if !sort.IntsAreSorted(ord) || len(ord) != 3 {
+		t.Errorf("SortedEntries = %v", ord)
+	}
+}
+
+func TestSliceWithNegativeSeed(t *testing.T) {
+	g := New(chainTrace())
+	if s := g.BackwardSlice(Explicit, -1); len(s) != 0 {
+		t.Errorf("negative seed slice = %v", s)
+	}
+}

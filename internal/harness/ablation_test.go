@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblationAClaims: the naive RS+confidence shortcut sanitizes the
+// root cause on the Fig. 1-shaped case, while the verified approach keeps
+// it everywhere (§3.2 of the paper).
+func TestAblationAClaims(t *testing.T) {
+	rows, err := AblationA()
+	if err != nil {
+		t.Fatalf("AblationA: %v", err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sanitized := 0
+	for _, r := range rows {
+		if !r.VerifiedKept {
+			t.Errorf("%s: verified approach lost the root cause", r.Case)
+		}
+		if r.NaiveSanitizes {
+			sanitized++
+		}
+		if r.NaiveConf < 0 || r.NaiveConf > 1 {
+			t.Errorf("%s: confidence %v out of range", r.Case, r.NaiveConf)
+		}
+	}
+	// The paper's own motivating case must be sanitized by the naive
+	// combination.
+	for _, r := range rows {
+		if r.Case == "gzipsim/V2-F3" && !r.NaiveSanitizes {
+			t.Error("gzipsim/V2-F3 (the Fig. 1 shape) must be sanitized by the naive shortcut")
+		}
+	}
+	if sanitized == 0 {
+		t.Error("the naive shortcut should sanitize at least one root cause")
+	}
+}
+
+// TestAblationBClaims: both VerifyDep modes locate everything; the path
+// mode never needs fewer verifications, and costs strictly more on at
+// least one case (the gzip shape).
+func TestAblationBClaims(t *testing.T) {
+	rows, err := AblationB()
+	if err != nil {
+		t.Fatalf("AblationB: %v", err)
+	}
+	strictlyMore := false
+	for _, r := range rows {
+		if !r.EdgeLocated || !r.PathLocated {
+			t.Errorf("%s: located edge=%v path=%v", r.Case, r.EdgeLocated, r.PathLocated)
+		}
+		if r.PathVerifications > r.EdgeVerifications {
+			strictlyMore = true
+		}
+	}
+	if !strictlyMore {
+		t.Error("path mode should cost strictly more verifications somewhere")
+	}
+}
+
+// TestAblationCClaims: the locator finds every root cause; the
+// critical-predicate baseline fails on the cases where no single switch
+// repairs the whole output.
+func TestAblationCClaims(t *testing.T) {
+	rows, err := AblationC()
+	if err != nil {
+		t.Fatalf("AblationC: %v", err)
+	}
+	for _, r := range rows {
+		if !r.LocatorFound {
+			t.Errorf("%s: locator failed", r.Case)
+		}
+		switch r.Case {
+		case "gzipsim/V2-F3", "grepsim/V4-F2":
+			if r.CritFound {
+				t.Errorf("%s: no single critical predicate should exist", r.Case)
+			}
+		}
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	out, err := RenderAblation("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Ablation B") {
+		t.Errorf("render:\n%s", out)
+	}
+	if _, err := RenderAblation("Z"); err == nil {
+		t.Error("unknown ablation must error")
+	}
+}
+
+// TestAblationDClaims: static PD always captures the root cause; the
+// exercised union graph matches it when the test suite covers the omitted
+// behavior, and misses it when the suite never exercises the branch
+// (gzipsim and the sedsim cascade).
+func TestAblationDClaims(t *testing.T) {
+	rows, err := AblationD()
+	if err != nil {
+		t.Fatalf("AblationD: %v", err)
+	}
+	missed := 0
+	for _, r := range rows {
+		if !r.StaticCaptures {
+			t.Errorf("%s: static RS must capture the root cause", r.Case)
+		}
+		if r.UnionRS.Dynamic > r.StaticRS.Dynamic {
+			t.Errorf("%s: union RS (%v) larger than static RS (%v): union evidence is a subset",
+				r.Case, r.UnionRS, r.StaticRS)
+		}
+		if !r.UnionCaptures {
+			missed++
+		}
+	}
+	if missed == 0 {
+		t.Error("expected the union graph to miss at least one under-covered case")
+	}
+	for _, r := range rows {
+		if r.Case == "gzipsim/V2-F3" && r.UnionCaptures {
+			t.Error("gzipsim: the passing suite never saves the original name; union PD cannot know the dependence")
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package implicit implements implicit-dependence verification by
+// predicate switching (Definitions 2 and 4 and the VerifyDep procedure of
+// Algorithm 2 in the PLDI 2007 paper).
+//
+// Given a failing execution E, a predicate instance p and a use instance
+// u with no explicit dependence path between them, the program is
+// re-executed with p's branch outcome inverted; the alignment algorithm
+// then looks for the counterparts p', u' (and o', the wrong output's
+// counterpart) in the switched execution E'. The verdict is:
+//
+//	STRONG_ID  o' exists and carries the expected correct value vexp
+//	           (Definition 4) — the switch repaired the failure;
+//	ID         u' does not exist (condition (i) of Definition 2), or u'
+//	           exists and its reaching definition d' lies inside p''s
+//	           region (the data-dependence-EDGE approximation of
+//	           condition (ii) used by Algorithm 2);
+//	NOT_ID     otherwise, or when the switched run exceeds its step
+//	           budget (the paper's verification timer).
+//
+// The edge approximation is deliberately unsafe (§3.1 of the paper); the
+// PathMode option implements the safe explicit-dependence-PATH variant
+// for the edges-vs-paths ablation.
+package implicit
+
+import (
+	"errors"
+	"fmt"
+
+	"eol/internal/align"
+	"eol/internal/ddg"
+	"eol/internal/interp"
+	"eol/internal/region"
+	"eol/internal/trace"
+)
+
+// Verdict is the outcome of one verification.
+type Verdict int
+
+// Verdicts, in increasing strength.
+const (
+	NotID Verdict = iota
+	ID
+	StrongID
+)
+
+// String names the verdict in the paper's notation.
+func (v Verdict) String() string {
+	switch v {
+	case NotID:
+		return "NOT_ID"
+	case ID:
+		return "ID"
+	case StrongID:
+		return "STRONG_ID"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// Verifier verifies implicit dependences for one failing execution.
+type Verifier struct {
+	C     *interp.Compiled
+	Input []int64
+	Orig  *trace.Trace
+
+	// WrongOut is the first wrong output of the failing run.
+	WrongOut trace.Output
+	// Vexp is the expected correct value at the wrong output, if known.
+	Vexp    int64
+	HasVexp bool
+
+	// BudgetFactor bounds switched re-executions to BudgetFactor × the
+	// original trace length (default 10) — the paper's timer.
+	BudgetFactor int
+
+	// PathMode, when set, uses explicit dependence *paths* between p' and
+	// u' (the letter of Definition 2) instead of single data-dependence
+	// edges out of p''s region (Algorithm 2's approximation).
+	PathMode bool
+
+	// Verifications counts the re-executions performed.
+	Verifications int
+
+	// Log records every verification performed, in order.
+	Log []LogEntry
+
+	// cache memoizes verdicts per (pred instance, use instance, symbol).
+	cache map[cacheKey]Verdict
+}
+
+type cacheKey struct {
+	pred trace.Instance
+	use  trace.Instance
+	sym  int
+	elem int64
+}
+
+// LogEntry records one verification for reporting.
+type LogEntry struct {
+	Pred    trace.Instance
+	Use     trace.Instance
+	Sym     int
+	Verdict Verdict
+	// Perturbed marks value-perturbation verifications; Value is the
+	// witnessing replacement value when Verdict != NotID.
+	Perturbed bool
+	Value     int64
+}
+
+// Request identifies one dependence to verify: does use entry Use
+// implicitly depend on predicate instance Pred (both trace indices into
+// the original execution)? UseSym/UseElem select which use of the entry
+// is in question (the location whose definition could have differed).
+type Request struct {
+	Pred    int
+	Use     int
+	UseSym  int
+	UseElem int64
+}
+
+// Result carries the verdict's evidence for reporting.
+type Result struct {
+	Verdict  Verdict
+	Switched *interp.Result // the switched run
+	UPrime   int            // matched use entry in E', -1 if none
+	OPrime   int            // matched wrong-output entry in E', -1 if none
+	OValue   int64          // value printed at o', if OPrime >= 0
+}
+
+// Verify runs one verification re-execution and classifies the
+// dependence. Verdicts are memoized per (p, u, location).
+func (v *Verifier) Verify(req Request) Verdict {
+	pe := v.Orig.At(req.Pred)
+	ue := v.Orig.At(req.Use)
+	key := cacheKey{pred: pe.Inst, use: ue.Inst, sym: req.UseSym, elem: req.UseElem}
+	if v.cache == nil {
+		v.cache = map[cacheKey]Verdict{}
+	}
+	if verdict, ok := v.cache[key]; ok {
+		return verdict
+	}
+	res := v.VerifyDetailed(req)
+	v.cache[key] = res.Verdict
+	v.Log = append(v.Log, LogEntry{
+		Pred: pe.Inst, Use: ue.Inst, Sym: req.UseSym, Verdict: res.Verdict,
+	})
+	return res.Verdict
+}
+
+// VerifyDetailed is Verify without memoization, returning evidence.
+func (v *Verifier) VerifyDetailed(req Request) *Result {
+	v.Verifications++
+	res := &Result{Verdict: NotID, UPrime: -1, OPrime: -1}
+
+	pe := v.Orig.At(req.Pred)
+	factor := v.BudgetFactor
+	if factor <= 0 {
+		factor = 10
+	}
+	budget := factor*v.Orig.Len() + 1000
+
+	sw := interp.Run(v.C, interp.Options{
+		Input:      v.Input,
+		BuildTrace: true,
+		Switch:     &interp.SwitchPlan{Stmt: pe.Inst.Stmt, Occ: pe.Inst.Occ},
+		StepBudget: budget,
+	})
+	res.Switched = sw
+	if errors.Is(sw.Err, interp.ErrBudget) {
+		// Timer expired: "we aggressively conclude the verification fails".
+		return res
+	}
+	if !sw.SwitchApplied || sw.Trace == nil {
+		return res
+	}
+	ep := sw.Trace
+
+	// Strong implicit dependence: the wrong output's counterpart carries
+	// the expected value (Definition 4 via Algorithm 2 lines 27-28).
+	if v.HasVexp && v.WrongOut.Entry >= 0 {
+		if o, ok := align.Match(v.Orig, ep, pe.Inst, v.WrongOut.Entry); ok {
+			res.OPrime = o
+			for _, out := range ep.OutputsOf(o) {
+				if out.Arg == v.WrongOut.Arg {
+					res.OValue = out.Value
+					if out.Value == v.Vexp {
+						res.Verdict = StrongID
+						return res
+					}
+				}
+			}
+		}
+	}
+
+	// u': condition (i) of Definition 2.
+	u, ok := align.Match(v.Orig, ep, pe.Inst, req.Use)
+	if !ok {
+		res.Verdict = ID
+		return res
+	}
+	res.UPrime = u
+
+	pPrimeIdx := ep.FindInstance(pe.Inst)
+	if pPrimeIdx < 0 {
+		return res
+	}
+
+	if v.PathMode {
+		// Safe variant: any explicit dependence path between p' and u'.
+		g := ddg.New(ep)
+		slice := g.BackwardSlice(ddg.Explicit, u)
+		if slice[pPrimeIdx] {
+			res.Verdict = ID
+		}
+		return res
+	}
+
+	// Algorithm 2 lines 31-35: the reaching definition d' of the use in
+	// E' must lie inside Region(p').
+	pRegion := region.Region{T: ep, Head: pPrimeIdx}
+	for _, use := range ep.At(u).Uses {
+		if use.Sym != req.UseSym {
+			continue
+		}
+		if use.Def == trace.NoDef {
+			continue
+		}
+		if pRegion.Contains(use.Def) {
+			res.Verdict = ID
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,118 @@
+package implicit
+
+import (
+	"testing"
+
+	"eol/internal/trace"
+
+	"eol/internal/testsupport"
+)
+
+// TestPerturbationClosesTable5bGap: the nested-predicate case where
+// single-predicate switching fails to expose the implicit dependence
+// (TestTable5bUnsoundness) IS exposed by perturbing the faulty value —
+// the paper's §5 proposed remedy.
+func TestPerturbationClosesTable5bGap(t *testing.T) {
+	src := `
+func main() {
+    var A = read();
+    var X = 1;
+    if (A > 10) {
+        if (A > 100) {
+            X = 2;
+        }
+    }
+    print(X);
+}`
+	c := testsupport.Compile(t, src)
+	r := testsupport.Run(t, c, []int64{5})
+	aDef := testsupport.StmtID(t, c, "var A = read()")
+	pr := testsupport.StmtID(t, c, "print(X)")
+
+	v := &Verifier{C: c, Input: []int64{5}, Orig: r.Trace}
+	d := r.Trace.FindInstance(trace.Instance{Stmt: aDef, Occ: 1})
+	u := r.Trace.FindInstance(trace.Instance{Stmt: pr, Occ: 1})
+
+	res := v.PerturbVerify(PerturbRequest{
+		Def: d, Use: u,
+		Candidates: []int64{7, 50, 200}, // from a hypothetical value profile
+	})
+	if !res.Dependent {
+		t.Fatal("perturbation failed to expose the Table 5(b) dependence")
+	}
+	if res.Witness != 200 {
+		t.Errorf("witness = %d, want 200 (only a value > 100 takes both branches)", res.Witness)
+	}
+	// 7 and 50 do not change X; 200 does: three re-executions at most,
+	// and the cost exceeds the single switch the binary domain needs.
+	if res.Reexecutions != 3 {
+		t.Errorf("re-executions = %d, want 3 (stop at the witness)", res.Reexecutions)
+	}
+}
+
+// TestPerturbNoDependence: perturbing an unrelated definition leaves the
+// use untouched.
+func TestPerturbNoDependence(t *testing.T) {
+	src := `
+func main() {
+    var a = read();
+    var b = read();
+    var x = a * 2;
+    print(x);
+    print(b);
+}`
+	c := testsupport.Compile(t, src)
+	r := testsupport.Run(t, c, []int64{3, 4})
+	bDef := testsupport.StmtID(t, c, "var b = read()")
+	prX := testsupport.StmtID(t, c, "print(x)")
+
+	v := &Verifier{C: c, Input: []int64{3, 4}, Orig: r.Trace}
+	d := r.Trace.FindInstance(trace.Instance{Stmt: bDef, Occ: 1})
+	u := r.Trace.FindInstance(trace.Instance{Stmt: prX, Occ: 1})
+
+	res := v.PerturbVerify(PerturbRequest{Def: d, Use: u, Candidates: []int64{99, -1}})
+	if res.Dependent {
+		t.Errorf("spurious dependence via witness %d", res.Witness)
+	}
+	if res.Reexecutions != 2 {
+		t.Errorf("re-executions = %d, want 2", res.Reexecutions)
+	}
+}
+
+// TestPerturbSkipsOriginalValue: a candidate equal to the original value
+// is not a disturbance and must not trigger a re-execution.
+func TestPerturbSkipsOriginalValue(t *testing.T) {
+	src := `
+func main() {
+    var a = read();
+    print(a);
+}`
+	c := testsupport.Compile(t, src)
+	r := testsupport.Run(t, c, []int64{5})
+	aDef := testsupport.StmtID(t, c, "var a = read()")
+	pr := testsupport.StmtID(t, c, "print(a)")
+
+	v := &Verifier{C: c, Input: []int64{5}, Orig: r.Trace}
+	d := r.Trace.FindInstance(trace.Instance{Stmt: aDef, Occ: 1})
+	u := r.Trace.FindInstance(trace.Instance{Stmt: pr, Occ: 1})
+
+	res := v.PerturbVerify(PerturbRequest{Def: d, Use: u, Candidates: []int64{5}})
+	if res.Reexecutions != 0 || res.Dependent {
+		t.Errorf("original value must be skipped: %+v", res)
+	}
+	// A genuinely different value flows straight to the print.
+	res = v.PerturbVerify(PerturbRequest{Def: d, Use: u, Candidates: []int64{6}})
+	if !res.Dependent {
+		t.Error("direct data dependence not exposed by perturbation")
+	}
+}
+
+func TestProfileCandidates(t *testing.T) {
+	c := testsupport.Compile(t, `func main() { var a = read(); print(a); }`)
+	r := testsupport.Run(t, c, []int64{5})
+	d := r.Trace.FindInstance(trace.Instance{Stmt: 1, Occ: 1})
+	got := ProfileCandidates(r.Trace, d, []int64{5, 7, 7, 9, 11}, 2)
+	if len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Errorf("candidates = %v, want [7 9] (skip original, dedupe, cap)", got)
+	}
+}

@@ -1,0 +1,471 @@
+// Package ast declares the abstract syntax tree of MiniC.
+//
+// Every executable statement carries a small integer statement ID assigned
+// in source order by the semantic pass (S1, S2, ... in the notation of the
+// PLDI 2007 paper). Dynamic analyses identify statement *instances* by the
+// pair (statement ID, occurrence count).
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"eol/internal/lang/token"
+)
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is the interface implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	ValuePos token.Pos
+	Value    int64
+}
+
+// StringLit is a string literal; MiniC strings appear only as print
+// arguments.
+type StringLit struct {
+	ValuePos token.Pos
+	Value    string
+}
+
+// Ident names a variable, function or builtin.
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+}
+
+// IndexExpr is an array element access a[i].
+type IndexExpr struct {
+	X     *Ident
+	Index Expr
+}
+
+// CallExpr is a function or builtin call.
+type CallExpr struct {
+	Fun    *Ident
+	Lparen token.Pos
+	Args   []Expr
+}
+
+// UnaryExpr is a unary operation: -x, !x, ~x.
+type UnaryExpr struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+// BinaryExpr is a binary operation. && and || short-circuit.
+type BinaryExpr struct {
+	X  Expr
+	Op token.Kind
+	Y  Expr
+}
+
+func (x *IntLit) Pos() token.Pos     { return x.ValuePos }
+func (x *StringLit) Pos() token.Pos  { return x.ValuePos }
+func (x *Ident) Pos() token.Pos      { return x.NamePos }
+func (x *IndexExpr) Pos() token.Pos  { return x.X.Pos() }
+func (x *CallExpr) Pos() token.Pos   { return x.Fun.Pos() }
+func (x *UnaryExpr) Pos() token.Pos  { return x.OpPos }
+func (x *BinaryExpr) Pos() token.Pos { return x.X.Pos() }
+
+func (*IntLit) exprNode()     {}
+func (*StringLit) exprNode()  {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is the interface implemented by all statement nodes. Executable
+// statements carry an ID assigned by the semantic pass; BlockStmt has no ID
+// of its own.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Numbered is implemented by statements that receive a statement ID.
+type Numbered interface {
+	Stmt
+	ID() int
+	setID(int)
+}
+
+// stmtID provides the Numbered implementation by embedding.
+type stmtID struct{ id int }
+
+// ID returns the statement's ID (1-based; 0 means unassigned).
+func (s *stmtID) ID() int     { return s.id }
+func (s *stmtID) setID(n int) { s.id = n }
+
+// SetID assigns id to s. It is exported as a free function so that only
+// the semantic pass (and tests) assign IDs deliberately.
+func SetID(s Numbered, id int) { s.setID(id) }
+
+// VarDeclStmt declares a scalar (possibly initialized) or a fixed-size
+// array: "var x;", "var x = e;", "var a[N];".
+type VarDeclStmt struct {
+	stmtID
+	VarPos token.Pos
+	Name   *Ident
+	Size   Expr // non-nil for arrays; must be a constant expression
+	Init   Expr // non-nil for initialized scalars
+}
+
+// AssignStmt assigns to a scalar or array element. Op is ASSIGN or a
+// compound-assignment token; ++/-- are parsed into ADD_ASSIGN/SUB_ASSIGN
+// with RHS 1.
+type AssignStmt struct {
+	stmtID
+	LHS Expr // *Ident or *IndexExpr
+	Op  token.Kind
+	RHS Expr
+}
+
+// IfStmt is a conditional. Else is nil, a *BlockStmt, or another *IfStmt
+// (else-if chain).
+type IfStmt struct {
+	stmtID
+	IfPos token.Pos
+	Cond  Expr
+	Then  *BlockStmt
+	Else  Stmt
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	stmtID
+	WhilePos token.Pos
+	Cond     Expr
+	Body     *BlockStmt
+}
+
+// ForStmt is a C-style loop. Init and Post may be nil; Cond nil means true.
+type ForStmt struct {
+	stmtID
+	ForPos token.Pos
+	Init   Stmt // *AssignStmt or *VarDeclStmt or nil
+	Cond   Expr
+	Post   Stmt // *AssignStmt or nil
+	Body   *BlockStmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct {
+	stmtID
+	BreakPos token.Pos
+}
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct {
+	stmtID
+	ContinuePos token.Pos
+}
+
+// ReturnStmt returns from the current function; Value may be nil.
+type ReturnStmt struct {
+	stmtID
+	ReturnPos token.Pos
+	Value     Expr
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct {
+	stmtID
+	X Expr
+}
+
+// PrintStmt emits output events, one per argument. String literal
+// arguments are formatting only and produce no output *value* events.
+type PrintStmt struct {
+	stmtID
+	PrintPos token.Pos
+	Args     []Expr
+}
+
+// BlockStmt is a brace-delimited statement list. It has no statement ID.
+type BlockStmt struct {
+	Lbrace token.Pos
+	Stmts  []Stmt
+}
+
+func (s *VarDeclStmt) Pos() token.Pos  { return s.VarPos }
+func (s *AssignStmt) Pos() token.Pos   { return s.LHS.Pos() }
+func (s *IfStmt) Pos() token.Pos       { return s.IfPos }
+func (s *WhileStmt) Pos() token.Pos    { return s.WhilePos }
+func (s *ForStmt) Pos() token.Pos      { return s.ForPos }
+func (s *BreakStmt) Pos() token.Pos    { return s.BreakPos }
+func (s *ContinueStmt) Pos() token.Pos { return s.ContinuePos }
+func (s *ReturnStmt) Pos() token.Pos   { return s.ReturnPos }
+func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
+func (s *PrintStmt) Pos() token.Pos    { return s.PrintPos }
+func (s *BlockStmt) Pos() token.Pos    { return s.Lbrace }
+
+func (*VarDeclStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*PrintStmt) stmtNode()    {}
+func (*BlockStmt) stmtNode()    {}
+
+// IsPredicate reports whether s is a predicate statement: a statement
+// whose execution evaluates a branch condition (if, while, for).
+func IsPredicate(s Stmt) bool {
+	switch s.(type) {
+	case *IfStmt, *WhileStmt, *ForStmt:
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Declarations and program
+
+// FuncDecl declares a function. Parameters are int scalars; the return
+// value, if any, is an int.
+type FuncDecl struct {
+	FuncPos token.Pos
+	Name    *Ident
+	Params  []*Ident
+	Body    *BlockStmt
+}
+
+// Pos returns the position of the func keyword.
+func (f *FuncDecl) Pos() token.Pos { return f.FuncPos }
+
+// Program is a parsed MiniC compilation unit. Globals are VarDeclStmts at
+// file scope; execution starts at the function named "main".
+type Program struct {
+	Globals []*VarDeclStmt
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Walking
+
+// Inspect traverses the statement tree rooted at s in source order,
+// calling f for every statement (including s itself and nested blocks'
+// statements). If f returns false for a statement, its children are
+// skipped.
+func Inspect(s Stmt, f func(Stmt) bool) {
+	if s == nil || !f(s) {
+		return
+	}
+	switch n := s.(type) {
+	case *BlockStmt:
+		for _, c := range n.Stmts {
+			Inspect(c, f)
+		}
+	case *IfStmt:
+		Inspect(n.Then, f)
+		if n.Else != nil {
+			Inspect(n.Else, f)
+		}
+	case *WhileStmt:
+		Inspect(n.Body, f)
+	case *ForStmt:
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+		if n.Post != nil {
+			Inspect(n.Post, f)
+		}
+		Inspect(n.Body, f)
+	}
+}
+
+// InspectExprs calls f on every expression appearing directly in statement
+// s (not descending into nested statements), in evaluation order, then
+// recursively on subexpressions.
+func InspectExprs(s Stmt, f func(Expr)) {
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if e == nil {
+			return
+		}
+		f(e)
+		switch x := e.(type) {
+		case *IndexExpr:
+			walk(x.X)
+			walk(x.Index)
+		case *CallExpr:
+			walk(x.Fun)
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *UnaryExpr:
+			walk(x.X)
+		case *BinaryExpr:
+			walk(x.X)
+			walk(x.Y)
+		}
+	}
+	switch n := s.(type) {
+	case *VarDeclStmt:
+		walk(n.Size)
+		walk(n.Init)
+	case *AssignStmt:
+		walk(n.LHS)
+		walk(n.RHS)
+	case *IfStmt:
+		walk(n.Cond)
+	case *WhileStmt:
+		walk(n.Cond)
+	case *ForStmt:
+		walk(n.Cond)
+	case *ReturnStmt:
+		walk(n.Value)
+	case *ExprStmt:
+		walk(n.X)
+	case *PrintStmt:
+		for _, a := range n.Args {
+			walk(a)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+
+// ExprString renders e as MiniC source.
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e, 0)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e Expr, parentPrec int) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *IntLit:
+		fmt.Fprintf(sb, "%d", x.Value)
+	case *StringLit:
+		fmt.Fprintf(sb, "%q", x.Value)
+	case *Ident:
+		sb.WriteString(x.Name)
+	case *IndexExpr:
+		sb.WriteString(x.X.Name)
+		sb.WriteByte('[')
+		writeExpr(sb, x.Index, 0)
+		sb.WriteByte(']')
+	case *CallExpr:
+		sb.WriteString(x.Fun.Name)
+		sb.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a, 0)
+		}
+		sb.WriteByte(')')
+	case *UnaryExpr:
+		sb.WriteString(x.Op.String())
+		writeExpr(sb, x.X, 10)
+	case *BinaryExpr:
+		prec := x.Op.Precedence()
+		if prec < parentPrec {
+			sb.WriteByte('(')
+		}
+		writeExpr(sb, x.X, prec)
+		sb.WriteByte(' ')
+		sb.WriteString(x.Op.String())
+		sb.WriteByte(' ')
+		writeExpr(sb, x.Y, prec+1)
+		if prec < parentPrec {
+			sb.WriteByte(')')
+		}
+	default:
+		fmt.Fprintf(sb, "<?expr %T>", e)
+	}
+}
+
+// StmtString renders the head of s as one line of MiniC source (bodies of
+// compound statements are elided). Intended for diagnostics and reports.
+func StmtString(s Stmt) string {
+	switch n := s.(type) {
+	case *VarDeclStmt:
+		if n.Size != nil {
+			return fmt.Sprintf("var %s[%s];", n.Name.Name, ExprString(n.Size))
+		}
+		if n.Init != nil {
+			return fmt.Sprintf("var %s = %s;", n.Name.Name, ExprString(n.Init))
+		}
+		return fmt.Sprintf("var %s;", n.Name.Name)
+	case *AssignStmt:
+		return fmt.Sprintf("%s %s %s;", ExprString(n.LHS), n.Op, ExprString(n.RHS))
+	case *IfStmt:
+		return fmt.Sprintf("if (%s)", ExprString(n.Cond))
+	case *WhileStmt:
+		return fmt.Sprintf("while (%s)", ExprString(n.Cond))
+	case *ForStmt:
+		var init, post string
+		if n.Init != nil {
+			init = strings.TrimSuffix(StmtString(n.Init), ";")
+		}
+		if n.Post != nil {
+			post = strings.TrimSuffix(StmtString(n.Post), ";")
+		}
+		cond := ""
+		if n.Cond != nil {
+			cond = ExprString(n.Cond)
+		}
+		return fmt.Sprintf("for (%s; %s; %s)", init, cond, post)
+	case *BreakStmt:
+		return "break;"
+	case *ContinueStmt:
+		return "continue;"
+	case *ReturnStmt:
+		if n.Value != nil {
+			return fmt.Sprintf("return %s;", ExprString(n.Value))
+		}
+		return "return;"
+	case *ExprStmt:
+		return ExprString(n.X) + ";"
+	case *PrintStmt:
+		var sb strings.Builder
+		sb.WriteString("print(")
+		for i, a := range n.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(&sb, a, 0)
+		}
+		sb.WriteString(");")
+		return sb.String()
+	case *BlockStmt:
+		return "{ ... }"
+	}
+	return fmt.Sprintf("<?stmt %T>", s)
+}

@@ -1,0 +1,285 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"eol/internal/lang/token"
+)
+
+func ident(name string) *Ident { return &Ident{Name: name} }
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&IntLit{Value: 42}, "42"},
+		{&IntLit{Value: -3}, "-3"},
+		{&StringLit{Value: "hi"}, `"hi"`},
+		{ident("x"), "x"},
+		{&IndexExpr{X: ident("a"), Index: &IntLit{Value: 2}}, "a[2]"},
+		{&CallExpr{Fun: ident("f"), Args: []Expr{ident("x"), &IntLit{Value: 1}}}, "f(x, 1)"},
+		{&UnaryExpr{Op: token.SUB, X: ident("x")}, "-x"},
+		{&UnaryExpr{Op: token.NOT, X: ident("p")}, "!p"},
+		{&BinaryExpr{X: ident("a"), Op: token.ADD, Y: ident("b")}, "a + b"},
+		{
+			// (a + b) * c needs parens; a + b * c does not
+			&BinaryExpr{
+				X:  &BinaryExpr{X: ident("a"), Op: token.ADD, Y: ident("b")},
+				Op: token.MUL, Y: ident("c"),
+			},
+			"(a + b) * c",
+		},
+		{
+			&BinaryExpr{
+				X:  ident("a"),
+				Op: token.ADD,
+				Y:  &BinaryExpr{X: ident("b"), Op: token.MUL, Y: ident("c")},
+			},
+			"a + b * c",
+		},
+		{
+			// right operand at the same precedence level gets parens
+			// (a - (b - c) must not print as a - b - c)
+			&BinaryExpr{
+				X:  ident("a"),
+				Op: token.SUB,
+				Y:  &BinaryExpr{X: ident("b"), Op: token.SUB, Y: ident("c")},
+			},
+			"a - (b - c)",
+		},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	cases := []struct {
+		s    Stmt
+		want string
+	}{
+		{&VarDeclStmt{Name: ident("x")}, "var x;"},
+		{&VarDeclStmt{Name: ident("x"), Init: &IntLit{Value: 5}}, "var x = 5;"},
+		{&VarDeclStmt{Name: ident("a"), Size: &IntLit{Value: 8}}, "var a[8];"},
+		{&AssignStmt{LHS: ident("x"), Op: token.ASSIGN, RHS: &IntLit{Value: 1}}, "x = 1;"},
+		{&AssignStmt{LHS: ident("x"), Op: token.ADD_ASSIGN, RHS: &IntLit{Value: 1}}, "x += 1;"},
+		{&IfStmt{Cond: ident("p")}, "if (p)"},
+		{&WhileStmt{Cond: &BinaryExpr{X: ident("i"), Op: token.LSS, Y: ident("n")}}, "while (i < n)"},
+		{&BreakStmt{}, "break;"},
+		{&ContinueStmt{}, "continue;"},
+		{&ReturnStmt{}, "return;"},
+		{&ReturnStmt{Value: ident("x")}, "return x;"},
+		{&PrintStmt{Args: []Expr{ident("x"), &StringLit{Value: " "}}}, `print(x, " ");`},
+		{&BlockStmt{}, "{ ... }"},
+	}
+	for _, c := range cases {
+		if got := StmtString(c.s); got != c.want {
+			t.Errorf("StmtString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestForStmtString(t *testing.T) {
+	f := &ForStmt{
+		Init: &VarDeclStmt{Name: ident("i"), Init: &IntLit{Value: 0}},
+		Cond: &BinaryExpr{X: ident("i"), Op: token.LSS, Y: &IntLit{Value: 10}},
+		Post: &AssignStmt{LHS: ident("i"), Op: token.ADD_ASSIGN, RHS: &IntLit{Value: 1}},
+	}
+	if got := StmtString(f); got != "for (var i = 0; i < 10; i += 1)" {
+		t.Errorf("for renders %q", got)
+	}
+	empty := &ForStmt{}
+	if got := StmtString(empty); got != "for (; ; )" {
+		t.Errorf("empty for renders %q", got)
+	}
+}
+
+func TestIsPredicate(t *testing.T) {
+	if !IsPredicate(&IfStmt{}) || !IsPredicate(&WhileStmt{}) || !IsPredicate(&ForStmt{}) {
+		t.Error("if/while/for are predicates")
+	}
+	if IsPredicate(&AssignStmt{}) || IsPredicate(&BreakStmt{}) {
+		t.Error("assign/break are not predicates")
+	}
+}
+
+func TestInspectOrder(t *testing.T) {
+	// while { if { break } else { continue } ; return }
+	inner := &IfStmt{
+		Cond: ident("c"),
+		Then: &BlockStmt{Stmts: []Stmt{&BreakStmt{}}},
+		Else: &BlockStmt{Stmts: []Stmt{&ContinueStmt{}}},
+	}
+	loop := &WhileStmt{
+		Cond: ident("p"),
+		Body: &BlockStmt{Stmts: []Stmt{inner, &ReturnStmt{}}},
+	}
+	var kindsSeen []string
+	Inspect(loop, func(s Stmt) bool {
+		switch s.(type) {
+		case *WhileStmt:
+			kindsSeen = append(kindsSeen, "while")
+		case *IfStmt:
+			kindsSeen = append(kindsSeen, "if")
+		case *BreakStmt:
+			kindsSeen = append(kindsSeen, "break")
+		case *ContinueStmt:
+			kindsSeen = append(kindsSeen, "continue")
+		case *ReturnStmt:
+			kindsSeen = append(kindsSeen, "return")
+		}
+		return true
+	})
+	want := "while if break continue return"
+	if got := strings.Join(kindsSeen, " "); got != want {
+		t.Errorf("Inspect order = %q, want %q", got, want)
+	}
+
+	// Pruning: returning false at the if skips its children.
+	kindsSeen = nil
+	Inspect(loop, func(s Stmt) bool {
+		if _, isIf := s.(*IfStmt); isIf {
+			kindsSeen = append(kindsSeen, "if")
+			return false
+		}
+		switch s.(type) {
+		case *BreakStmt, *ContinueStmt:
+			kindsSeen = append(kindsSeen, "leaf")
+		}
+		return true
+	})
+	if strings.Contains(strings.Join(kindsSeen, " "), "leaf") {
+		t.Error("Inspect did not prune the if's children")
+	}
+}
+
+func TestInspectExprs(t *testing.T) {
+	s := &AssignStmt{
+		LHS: &IndexExpr{X: ident("a"), Index: ident("i")},
+		Op:  token.ASSIGN,
+		RHS: &CallExpr{Fun: ident("f"), Args: []Expr{&BinaryExpr{X: ident("x"), Op: token.ADD, Y: ident("y")}}},
+	}
+	var names []string
+	InspectExprs(s, func(e Expr) {
+		if id, ok := e.(*Ident); ok {
+			names = append(names, id.Name)
+		}
+	})
+	want := "a i f x y"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("InspectExprs idents = %q, want %q", got, want)
+	}
+}
+
+func TestSetID(t *testing.T) {
+	s := &AssignStmt{LHS: ident("x"), Op: token.ASSIGN, RHS: &IntLit{Value: 1}}
+	if s.ID() != 0 {
+		t.Error("fresh statement must have ID 0")
+	}
+	SetID(s, 7)
+	if s.ID() != 7 {
+		t.Errorf("ID = %d, want 7", s.ID())
+	}
+}
+
+func TestProgramFunc(t *testing.T) {
+	p := &Program{Funcs: []*FuncDecl{
+		{Name: ident("main")},
+		{Name: ident("helper")},
+	}}
+	if p.Func("helper") == nil || p.Func("main") == nil {
+		t.Error("Func lookup failed")
+	}
+	if p.Func("nope") != nil {
+		t.Error("Func should return nil for unknown names")
+	}
+}
+
+// TestNodePositions exercises Pos on every node kind.
+func TestNodePositions(t *testing.T) {
+	p := token.Pos{Line: 2, Col: 3}
+	exprs := []Expr{
+		&IntLit{ValuePos: p},
+		&StringLit{ValuePos: p},
+		&Ident{NamePos: p},
+		&IndexExpr{X: &Ident{NamePos: p}, Index: &IntLit{ValuePos: p}},
+		&CallExpr{Fun: &Ident{NamePos: p}},
+		&UnaryExpr{OpPos: p, Op: token.SUB, X: &IntLit{ValuePos: p}},
+		&BinaryExpr{X: &Ident{NamePos: p}, Op: token.ADD, Y: &IntLit{ValuePos: p}},
+	}
+	for _, e := range exprs {
+		if e.Pos() != p {
+			t.Errorf("%T.Pos() = %v", e, e.Pos())
+		}
+	}
+	stmts := []Stmt{
+		&VarDeclStmt{VarPos: p, Name: ident("x")},
+		&AssignStmt{LHS: &Ident{NamePos: p}, Op: token.ASSIGN, RHS: &IntLit{}},
+		&IfStmt{IfPos: p, Cond: ident("c")},
+		&WhileStmt{WhilePos: p, Cond: ident("c")},
+		&ForStmt{ForPos: p},
+		&BreakStmt{BreakPos: p},
+		&ContinueStmt{ContinuePos: p},
+		&ReturnStmt{ReturnPos: p},
+		&ExprStmt{X: &CallExpr{Fun: &Ident{NamePos: p}}},
+		&PrintStmt{PrintPos: p},
+		&BlockStmt{Lbrace: p},
+	}
+	for _, s := range stmts {
+		if s.Pos() != p {
+			t.Errorf("%T.Pos() = %v", s, s.Pos())
+		}
+	}
+}
+
+// TestFprintWithIDs renders a program with statement labels.
+func TestFprintWithIDs(t *testing.T) {
+	decl := &VarDeclStmt{Name: ident("g")}
+	SetID(decl, 1)
+	ifs := &IfStmt{
+		Cond: ident("g"),
+		Then: &BlockStmt{Stmts: []Stmt{&BreakStmt{}}},
+		Else: &BlockStmt{Stmts: []Stmt{&ContinueStmt{}}},
+	}
+	SetID(ifs, 2)
+	loop := &WhileStmt{Cond: ident("g"), Body: &BlockStmt{Stmts: []Stmt{ifs}}}
+	SetID(loop, 3)
+	forStmt := &ForStmt{Body: &BlockStmt{}}
+	SetID(forStmt, 4)
+	prog := &Program{
+		Globals: []*VarDeclStmt{decl},
+		Funcs: []*FuncDecl{{
+			Name:   ident("main"),
+			Params: []*Ident{ident("a"), ident("b")},
+			Body:   &BlockStmt{Stmts: []Stmt{loop, forStmt, &BlockStmt{}}},
+		}},
+	}
+	out := ProgramString(prog, true)
+	for _, want := range []string{"S1: var g;", "func main(a, b) {", "S3: while (g) {", "S2: if (g) {", "} else {", "S4: for"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint output missing %q:\n%s", want, out)
+		}
+	}
+	// Without IDs there are no labels.
+	if strings.Contains(ProgramString(prog, false), "S1:") {
+		t.Error("unlabeled print contains IDs")
+	}
+}
+
+// TestElseIfPrinting covers the else-if chain rendering.
+func TestElseIfPrinting(t *testing.T) {
+	inner := &IfStmt{Cond: ident("b"), Then: &BlockStmt{}}
+	outer := &IfStmt{Cond: ident("a"), Then: &BlockStmt{}, Else: inner}
+	prog := &Program{Funcs: []*FuncDecl{{
+		Name: ident("main"),
+		Body: &BlockStmt{Stmts: []Stmt{outer}},
+	}}}
+	out := ProgramString(prog, false)
+	if !strings.Contains(out, "} else\n") && !strings.Contains(out, "} else") {
+		t.Errorf("else-if rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,102 @@
+package ast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fprint writes a fully indented MiniC rendering of the program to w.
+// When withIDs is true, each numbered statement is prefixed with its
+// statement ID in the paper's "S<n>:" notation.
+func Fprint(w io.Writer, p *Program, withIDs bool) error {
+	pr := &printer{w: w, withIDs: withIDs}
+	for _, g := range p.Globals {
+		pr.stmt(g, 0)
+	}
+	if len(p.Globals) > 0 {
+		pr.line(0, "")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			pr.line(0, "")
+		}
+		params := make([]string, len(f.Params))
+		for j, q := range f.Params {
+			params[j] = q.Name
+		}
+		pr.line(0, fmt.Sprintf("func %s(%s) {", f.Name.Name, strings.Join(params, ", ")))
+		pr.block(f.Body, 1)
+		pr.line(0, "}")
+	}
+	return pr.err
+}
+
+// ProgramString renders the program as a string; see Fprint.
+func ProgramString(p *Program, withIDs bool) string {
+	var sb strings.Builder
+	_ = Fprint(&sb, p, withIDs)
+	return sb.String()
+}
+
+type printer struct {
+	w       io.Writer
+	withIDs bool
+	err     error
+}
+
+func (pr *printer) line(depth int, s string) {
+	if pr.err != nil {
+		return
+	}
+	_, pr.err = fmt.Fprintf(pr.w, "%s%s\n", strings.Repeat("    ", depth), s)
+}
+
+func (pr *printer) label(s Stmt) string {
+	if !pr.withIDs {
+		return ""
+	}
+	if n, ok := s.(Numbered); ok && n.ID() > 0 {
+		return fmt.Sprintf("S%d: ", n.ID())
+	}
+	return ""
+}
+
+func (pr *printer) block(b *BlockStmt, depth int) {
+	for _, s := range b.Stmts {
+		pr.stmt(s, depth)
+	}
+}
+
+func (pr *printer) stmt(s Stmt, depth int) {
+	switch n := s.(type) {
+	case *BlockStmt:
+		pr.line(depth, "{")
+		pr.block(n, depth+1)
+		pr.line(depth, "}")
+	case *IfStmt:
+		pr.line(depth, pr.label(s)+StmtString(s)+" {")
+		pr.block(n.Then, depth+1)
+		switch e := n.Else.(type) {
+		case nil:
+			pr.line(depth, "}")
+		case *BlockStmt:
+			pr.line(depth, "} else {")
+			pr.block(e, depth+1)
+			pr.line(depth, "}")
+		case *IfStmt:
+			pr.line(depth, "} else")
+			pr.stmt(e, depth)
+		}
+	case *WhileStmt:
+		pr.line(depth, pr.label(s)+StmtString(s)+" {")
+		pr.block(n.Body, depth+1)
+		pr.line(depth, "}")
+	case *ForStmt:
+		pr.line(depth, pr.label(s)+StmtString(s)+" {")
+		pr.block(n.Body, depth+1)
+		pr.line(depth, "}")
+	default:
+		pr.line(depth, pr.label(s)+StmtString(s))
+	}
+}

@@ -1,0 +1,360 @@
+// Package lexer implements the hand-written scanner for MiniC source text.
+//
+// The scanner is deliberately simple and allocation-light: MiniC programs
+// are re-lexed only once per compilation, so clarity wins over speed.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"eol/internal/lang/token"
+)
+
+// Error is a lexical error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans MiniC source text into tokens.
+type Lexer struct {
+	src    string
+	off    int // byte offset of the next rune to read
+	line   int
+	col    int
+	errors []*Error
+}
+
+// New returns a Lexer over src. Line and column numbering start at 1.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errors }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errors = append(l.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isLetter(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || c == '_'
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		switch c := l.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns an EOF token
+// (repeatedly, if called again).
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.scanIdent(pos)
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+
+	l.advance()
+	// two/three-character operators first
+	mk := func(k token.Kind) token.Token { return token.Token{Kind: k, Pos: pos} }
+	switch c {
+	case '+':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.ADD_ASSIGN)
+		}
+		if l.peek() == '+' {
+			l.advance()
+			return mk(token.INC)
+		}
+		return mk(token.ADD)
+	case '-':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.SUB_ASSIGN)
+		}
+		if l.peek() == '-' {
+			l.advance()
+			return mk(token.DEC)
+		}
+		return mk(token.SUB)
+	case '*':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.MUL_ASSIGN)
+		}
+		return mk(token.MUL)
+	case '/':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.QUO_ASSIGN)
+		}
+		return mk(token.QUO)
+	case '%':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.REM_ASSIGN)
+		}
+		return mk(token.REM)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return mk(token.LAND)
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.AND_ASSIGN)
+		}
+		return mk(token.AND)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return mk(token.LOR)
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.OR_ASSIGN)
+		}
+		return mk(token.OR)
+	case '^':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.XOR_ASSIGN)
+		}
+		return mk(token.XOR)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				return mk(token.SHL_ASSIGN)
+			}
+			return mk(token.SHL)
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.LEQ)
+		}
+		return mk(token.LSS)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				return mk(token.SHR_ASSIGN)
+			}
+			return mk(token.SHR)
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.GEQ)
+		}
+		return mk(token.GTR)
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.EQL)
+		}
+		return mk(token.ASSIGN)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.NEQ)
+		}
+		return mk(token.NOT)
+	case '~':
+		return mk(token.TILD)
+	case '(':
+		return mk(token.LPAREN)
+	case ')':
+		return mk(token.RPAREN)
+	case '[':
+		return mk(token.LBRACK)
+	case ']':
+		return mk(token.RBRACK)
+	case '{':
+		return mk(token.LBRACE)
+	case '}':
+		return mk(token.RBRACE)
+	case ',':
+		return mk(token.COMMA)
+	case ';':
+		return mk(token.SEMI)
+	}
+	l.errorf(pos, "illegal character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	kind := token.Lookup(lit)
+	if kind != token.IDENT {
+		return token.Token{Kind: kind, Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	// hex literals
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		if l.off == start+2 {
+			l.errorf(pos, "malformed hex literal")
+		}
+		return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.off < len(l.src) && isLetter(l.peek()) {
+		bad := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		l.errorf(pos, "malformed number %q", l.src[start:l.off])
+		_ = bad
+		return token.Token{Kind: token.ILLEGAL, Lit: l.src[start:l.off], Pos: pos}
+	}
+	return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F'
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) || l.peek() == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: sb.String(), Pos: pos}
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if l.off >= len(l.src) {
+				l.errorf(pos, "unterminated string literal")
+				return token.Token{Kind: token.ILLEGAL, Lit: sb.String(), Pos: pos}
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			default:
+				l.errorf(pos, "unknown escape \\%c", e)
+				sb.WriteByte(e)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return token.Token{Kind: token.STRING, Lit: sb.String(), Pos: pos}
+}
+
+// ScanAll lexes src to completion and returns all tokens up to and
+// including the EOF token, plus any lexical errors.
+func ScanAll(src string) ([]token.Token, []*Error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+	}
+}

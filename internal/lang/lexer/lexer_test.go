@@ -1,0 +1,176 @@
+package lexer
+
+import (
+	"testing"
+
+	"eol/internal/lang/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	ks := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestScanBasics(t *testing.T) {
+	toks, errs := ScanAll(`var x = 42; // comment
+if (x >= 10 && x != 0) { x <<= 2; }`)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.VAR, token.IDENT, token.ASSIGN, token.INT, token.SEMI,
+		token.IF, token.LPAREN, token.IDENT, token.GEQ, token.INT,
+		token.LAND, token.IDENT, token.NEQ, token.INT, token.RPAREN,
+		token.LBRACE, token.IDENT, token.SHL_ASSIGN, token.INT, token.SEMI,
+		token.RBRACE, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperatorMaximalMunch(t *testing.T) {
+	cases := map[string][]token.Kind{
+		"<<=":   {token.SHL_ASSIGN},
+		"<<":    {token.SHL},
+		"<=":    {token.LEQ},
+		"<":     {token.LSS},
+		">>=":   {token.SHR_ASSIGN},
+		"==":    {token.EQL},
+		"=":     {token.ASSIGN},
+		"& &":   {token.AND, token.AND},
+		"&&":    {token.LAND},
+		"||":    {token.LOR},
+		"|=":    {token.OR_ASSIGN},
+		"++":    {token.INC},
+		"+=":    {token.ADD_ASSIGN},
+		"+ +":   {token.ADD, token.ADD},
+		"--":    {token.DEC},
+		"-= -":  {token.SUB_ASSIGN, token.SUB},
+		"! !=":  {token.NOT, token.NEQ},
+		"~":     {token.TILD},
+		"^= ^":  {token.XOR_ASSIGN, token.XOR},
+		"%= %":  {token.REM_ASSIGN, token.REM},
+		"*= */": {token.MUL_ASSIGN, token.MUL, token.QUO},
+	}
+	for src, want := range cases {
+		toks, errs := ScanAll(src)
+		if len(errs) != 0 {
+			t.Errorf("%q: errors %v", src, errs)
+			continue
+		}
+		got := kinds(toks[:len(toks)-1]) // drop EOF
+		if len(got) != len(want) {
+			t.Errorf("%q: got %v, want %v", src, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%q token %d: %v want %v", src, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := ScanAll("0 7 123 0x1F 0XaB")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	wantLits := []string{"0", "7", "123", "0x1F", "0XaB"}
+	for i, w := range wantLits {
+		if toks[i].Kind != token.INT || toks[i].Lit != w {
+			t.Errorf("number %d = %v(%q), want INT(%q)", i, toks[i].Kind, toks[i].Lit, w)
+		}
+	}
+	// malformed
+	_, errs = ScanAll("12ab")
+	if len(errs) == 0 {
+		t.Error("12ab should be a lexical error")
+	}
+	_, errs = ScanAll("0x")
+	if len(errs) == 0 {
+		t.Error("bare 0x should be a lexical error")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, errs := ScanAll(`"hello" "a\nb" "q\"q" "tab\t" ""`)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []string{"hello", "a\nb", `q"q`, "tab\t", ""}
+	for i, w := range want {
+		if toks[i].Kind != token.STRING || toks[i].Lit != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Lit, w)
+		}
+	}
+	for _, bad := range []string{`"unterminated`, "\"line\nbreak\"", `"bad \q escape"`} {
+		if _, errs := ScanAll(bad); len(errs) == 0 {
+			t.Errorf("%q should be a lexical error", bad)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, errs := ScanAll(`
+// full line
+x // trailing
+/* block
+   spanning lines */ y
+/* nested-ish * / still inside */ z`)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	var ids []string
+	for _, tok := range toks {
+		if tok.Kind == token.IDENT {
+			ids = append(ids, tok.Lit)
+		}
+	}
+	if len(ids) != 3 || ids[0] != "x" || ids[1] != "y" || ids[2] != "z" {
+		t.Errorf("identifiers = %v, want [x y z]", ids)
+	}
+	if _, errs := ScanAll("/* unterminated"); len(errs) == 0 {
+		t.Error("unterminated block comment should error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := ScanAll("a\n  bb\n\tc")
+	want := []token.Pos{{Line: 1, Col: 1}, {Line: 2, Col: 3}, {Line: 3, Col: 2}}
+	for i, w := range want {
+		if toks[i].Pos != w {
+			t.Errorf("token %d at %v, want %v", i, toks[i].Pos, w)
+		}
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	toks, errs := ScanAll("a $ b")
+	if len(errs) != 1 {
+		t.Fatalf("errors = %v, want 1", errs)
+	}
+	if toks[1].Kind != token.ILLEGAL {
+		t.Errorf("token 1 = %v, want ILLEGAL", toks[1].Kind)
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("x")
+	l.Next() // x
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d after end = %v, want EOF", i, tok.Kind)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"eol/internal/lang/ast"
+)
+
+// FuzzParse feeds arbitrary text through the full front end. The parser
+// must never panic and must either return errors or an AST whose
+// pretty-printed form re-parses (print∘parse idempotence on accepted
+// inputs). `go test` runs the seed corpus; `go test -fuzz=FuzzParse`
+// explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() {}",
+		"var a[8]; func main() { a[0] = 1; print(a[0]); }",
+		`func f(x) { return x * 2; } func main() { print(f(21)); }`,
+		`func main() { for (var i = 0; i < 3; i++) { if (i % 2 == 0) { continue; } print(i); } }`,
+		`func main() { while (!eof()) { var v = read(); print(v, " "); } }`,
+		"func main() { var s = \"str\\n\"; }",
+		"func main() { var x = 0x1F << 2; }",
+		"func main() { if (a && b || !c) { } else if (d) { } else { } }",
+		"var x func main( } {{{ ;;; )",
+		"func main() { x = ; }",
+		"/* unterminated",
+		"func main() { print(1, \"a\", 2); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected input: fine
+		}
+		// Accepted input: pretty-print must re-parse to the same form.
+		out1 := ast.ProgramString(prog, false)
+		prog2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\n--- source ---\n%s\n--- printed ---\n%s",
+				err, src, out1)
+		}
+		out2 := ast.ProgramString(prog2, false)
+		if out1 != out2 {
+			t.Fatalf("print/parse not idempotent:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+		}
+		if strings.Count(out1, "func") != strings.Count(out2, "func") {
+			t.Fatal("function count changed across round trip")
+		}
+	})
+}

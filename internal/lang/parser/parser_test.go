@@ -1,0 +1,197 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"eol/internal/lang/ast"
+	"eol/internal/lang/token"
+)
+
+const sample = `
+var flags;
+var outbuf[64];
+
+func main() {
+    var saveOrigName = read();
+    flags = 0;
+    if (saveOrigName) {
+        flags = flags | 8;
+    }
+    outbuf[0] = flags;
+    var i = 0;
+    while (i < 1) {
+        print(outbuf[i]);
+        i = i + 1;
+    }
+}
+`
+
+func TestParseSample(t *testing.T) {
+	prog, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Globals) != 2 {
+		t.Errorf("globals = %d, want 2", len(prog.Globals))
+	}
+	if len(prog.Funcs) != 1 || prog.Funcs[0].Name.Name != "main" {
+		t.Fatalf("funcs = %v", prog.Funcs)
+	}
+	body := prog.Funcs[0].Body
+	if len(body.Stmts) != 6 {
+		t.Errorf("main has %d stmts, want 6", len(body.Stmts))
+	}
+	if _, ok := body.Stmts[2].(*ast.IfStmt); !ok {
+		t.Errorf("stmt 2 is %T, want *ast.IfStmt", body.Stmts[2])
+	}
+	if w, ok := body.Stmts[5].(*ast.WhileStmt); !ok {
+		t.Errorf("stmt 5 is %T, want *ast.WhileStmt", body.Stmts[5])
+	} else if len(w.Body.Stmts) != 2 {
+		t.Errorf("while body has %d stmts, want 2", len(w.Body.Stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"func main() { x = ; }", "expected expression"},
+		{"func main() { if x { } }", `expected "("`},
+		{"func main() { 1 + 2; }", "expected statement"},
+		{"func main() { a[1; }", `expected "]"`},
+		{"var x = 1", `expected ";"`},
+		{"func main() { print(1) }", `expected ";"`},
+		{"xyz", "expected declaration"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q): error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"1 + 2 * 3", "1 + 2 * 3"},
+		{"(1 + 2) * 3", "(1 + 2) * 3"},
+		{"a && b || c", "a && b || c"},
+		{"a || b && c", "a || b && c"},
+		{"1 < 2 == 3 < 4", "1 < 2 == 3 < 4"},
+		{"-a + b", "-a + b"},
+		{"a << 2 + b", "a << 2 + b"}, // + binds tighter than << (C rules)
+		{"x % 2 == 0", "x % 2 == 0"},
+	}
+	for _, c := range cases {
+		src := "var g; func main() { g = " + c.src + "; }"
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		as := prog.Funcs[0].Body.Stmts[0].(*ast.AssignStmt)
+		got := ast.ExprString(as.RHS)
+		if got != c.want {
+			t.Errorf("ExprString(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestForAndIncDec(t *testing.T) {
+	src := `
+func main() {
+    var s = 0;
+    for (var i = 0; i < 10; i++) {
+        s += i;
+        if (s > 20) { break; }
+    }
+    print(s);
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f := prog.Funcs[0].Body.Stmts[1].(*ast.ForStmt)
+	if f.Init == nil || f.Cond == nil || f.Post == nil {
+		t.Fatalf("for clause missing parts: %+v", f)
+	}
+	post := f.Post.(*ast.AssignStmt)
+	if post.Op != token.ADD_ASSIGN {
+		t.Errorf("i++ parsed as op %v, want +=", post.Op)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+func main() {
+    var x = read();
+    if (x == 1) { print(1); }
+    else if (x == 2) { print(2); }
+    else { print(3); }
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ifs := prog.Funcs[0].Body.Stmts[1].(*ast.IfStmt)
+	elif, ok := ifs.Else.(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("else branch is %T, want *ast.IfStmt", ifs.Else)
+	}
+	if _, ok := elif.Else.(*ast.BlockStmt); !ok {
+		t.Fatalf("final else is %T, want *ast.BlockStmt", elif.Else)
+	}
+}
+
+// TestPrintRoundTrip is a property test: pretty-printing a parsed program
+// and re-parsing it yields the same pretty-printed form (idempotence of
+// print∘parse).
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		sample,
+		`func f(a, b) { return a * b + 1; } func main() { print(f(2, 3)); }`,
+		`var a[8]; func main() { var i; i = 0; while (i < len(a)) { a[i] = i ^ 3; i++; } print(a[7], "done"); }`,
+		`func main() { for (var i = 0; i < 3; i++) { if (i % 2 == 0) { continue; } print(i); } }`,
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		out1 := ast.ProgramString(p1, false)
+		p2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("reparse of printed program failed: %v\n%s", err, out1)
+		}
+		out2 := ast.ProgramString(p2, false)
+		if out1 != out2 {
+			t.Errorf("print/parse not idempotent:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+		}
+	}
+}
+
+// TestLexerNeverPanics feeds random byte strings to the full front end;
+// the parser must return (possibly with errors) but never panic.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on input %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

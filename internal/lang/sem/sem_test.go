@@ -1,0 +1,350 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"eol/internal/lang/ast"
+	"eol/internal/lang/parser"
+)
+
+func analyze(t *testing.T, src string) *Info {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Analyze(prog)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	return info
+}
+
+func wantErr(t *testing.T, src, frag string) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Analyze(prog)
+	if err == nil {
+		t.Errorf("expected error containing %q, got nil", frag)
+		return
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Errorf("error %q does not contain %q", err, frag)
+	}
+}
+
+func TestStatementNumbering(t *testing.T) {
+	info := analyze(t, `
+var g;
+func f(a) {
+    return a + g;
+}
+func main() {
+    g = 1;
+    f(2);
+}`)
+	// S1 var g; S2 return; S3 g=1; S4 f(2);
+	if info.NumStmts() != 4 {
+		t.Fatalf("NumStmts = %d, want 4", info.NumStmts())
+	}
+	if _, ok := info.Stmt(1).(*ast.VarDeclStmt); !ok {
+		t.Errorf("S1 is %T", info.Stmt(1))
+	}
+	if _, ok := info.Stmt(2).(*ast.ReturnStmt); !ok {
+		t.Errorf("S2 is %T", info.Stmt(2))
+	}
+	if info.Stmt(0) != nil || info.Stmt(5) != nil {
+		t.Error("out-of-range Stmt must be nil")
+	}
+	// IDs are dense and in order.
+	for i, s := range info.Stmts {
+		if s.ID() != i+1 {
+			t.Errorf("Stmts[%d].ID() = %d", i, s.ID())
+		}
+	}
+}
+
+func TestForNumberingOrder(t *testing.T) {
+	info := analyze(t, `
+func main() {
+    for (var i = 0; i < 3; i++) {
+        print(i);
+    }
+}`)
+	// Numbering: S1 init, S2 for-cond, S3 print, S4 post.
+	if _, ok := info.Stmt(1).(*ast.VarDeclStmt); !ok {
+		t.Errorf("S1 = %T, want init decl", info.Stmt(1))
+	}
+	if _, ok := info.Stmt(2).(*ast.ForStmt); !ok {
+		t.Errorf("S2 = %T, want the for", info.Stmt(2))
+	}
+	if _, ok := info.Stmt(3).(*ast.PrintStmt); !ok {
+		t.Errorf("S3 = %T, want body print", info.Stmt(3))
+	}
+	if _, ok := info.Stmt(4).(*ast.AssignStmt); !ok {
+		t.Errorf("S4 = %T, want post", info.Stmt(4))
+	}
+}
+
+func TestSymbolsAndScopes(t *testing.T) {
+	info := analyze(t, `
+var g;
+var arr[4];
+func f(p) {
+    var local = p;
+    return local;
+}
+func main() {
+    var x = 1;
+    {
+        var y = x;
+        x = y;
+    }
+    g = x;
+}`)
+	gSym := info.SymbolByName("g")
+	if gSym == nil || gSym.Kind != Global || gSym.IsArray {
+		t.Fatalf("g: %+v", gSym)
+	}
+	arrSym := info.SymbolByName("arr")
+	if arrSym == nil || !arrSym.IsArray || arrSym.Size != 4 {
+		t.Fatalf("arr: %+v", arrSym)
+	}
+	if p := info.SymbolByName("f.p"); p == nil || p.Kind != Param {
+		t.Fatalf("f.p: %+v", p)
+	}
+	if l := info.SymbolByName("f.local"); l == nil || l.Kind != Local {
+		t.Fatalf("f.local: %+v", l)
+	}
+	if info.SymbolByName("main.y") == nil {
+		t.Error("block-scoped y missing")
+	}
+	if info.SymbolByName("nope") != nil {
+		t.Error("unknown symbol lookup should be nil")
+	}
+}
+
+func TestShadowingAllowedAcrossScopes(t *testing.T) {
+	info := analyze(t, `
+var x;
+func main() {
+    var x = 1;
+    if (x) {
+        var x = 2;
+        print(x);
+    }
+    print(x);
+}`)
+	count := 0
+	for _, s := range info.Symbols {
+		if s.Name == "x" {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Errorf("three distinct x symbols expected, got %d", count)
+	}
+}
+
+func TestDefUseExtraction(t *testing.T) {
+	info := analyze(t, `
+var a[4];
+var g;
+func main() {
+    var i = 1;
+    a[i] = g + i;
+    g += a[0];
+}`)
+	aSym := info.SymbolByName("a")
+	gSym := info.SymbolByName("g")
+	iSym := info.SymbolByName("main.i")
+
+	// "a[i] = g + i": defines a; uses g and i (not a: plain store).
+	var store int
+	for _, s := range info.Stmts {
+		if strings.Contains(ast.StmtString(s), "a[i] =") {
+			store = s.ID()
+		}
+	}
+	defs := info.StmtDefs[store]
+	if len(defs) != 1 || defs[0] != aSym {
+		t.Errorf("store defs = %v", defs)
+	}
+	uses := map[*Symbol]bool{}
+	for _, u := range info.StmtUses[store] {
+		uses[u] = true
+	}
+	if !uses[gSym] || !uses[iSym] || uses[aSym] {
+		t.Errorf("store uses = %v", info.StmtUses[store])
+	}
+
+	// "g += a[0]": compound assign both defines and uses g, uses a.
+	var acc int
+	for _, s := range info.Stmts {
+		if strings.Contains(ast.StmtString(s), "g +=") {
+			acc = s.ID()
+		}
+	}
+	uses = map[*Symbol]bool{}
+	for _, u := range info.StmtUses[acc] {
+		uses[u] = true
+	}
+	if !uses[gSym] || !uses[aSym] {
+		t.Errorf("compound uses = %v", info.StmtUses[acc])
+	}
+}
+
+func TestCallTracking(t *testing.T) {
+	info := analyze(t, `
+func f(a) { return a; }
+func g(a, b) { return a + b; }
+func main() {
+    var x = f(1) + g(2, 3);
+    print(f(x));
+}`)
+	var declID, printID int
+	for _, s := range info.Stmts {
+		text := ast.StmtString(s)
+		if strings.HasPrefix(text, "var x") {
+			declID = s.ID()
+		}
+		if strings.HasPrefix(text, "print") {
+			printID = s.ID()
+		}
+	}
+	calls := info.StmtCalls[declID]
+	if len(calls) != 2 {
+		t.Errorf("decl calls = %v, want f and g", calls)
+	}
+	if len(info.StmtCalls[printID]) != 1 || info.StmtCalls[printID][0] != "f" {
+		t.Errorf("print calls = %v", info.StmtCalls[printID])
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{`func main() { x = 1; }`, "undefined: x"},
+		{`func main() { var x; var x; }`, "redeclared"},
+		{`func f() {} func f() {} func main() {}`, "redeclared"},
+		{`func main() { foo(); }`, "undefined function"},
+		{`func f(a) { return a; } func main() { f(); }`, "expects 1 arguments"},
+		{`func main() { read(1); }`, "arguments"},
+		{`var x; func main() { x[0] = 1; }`, "cannot index scalar"},
+		{`var a[4]; func main() { a = 1; }`, "without an index"},
+		{`var a[4]; func main() { var x = a; }`, "used without index"},
+		{`func main() { break; }`, "break outside loop"},
+		{`func main() { continue; }`, "continue outside loop"},
+		{`func f() { return 0; }`, "no main function"},
+		{`func main(a) { }`, "main must take no parameters"},
+		{`func main() { var a[0]; }`, "positive constant"},
+		{`func main() { var a[x]; }`, "positive constant"},
+		{`func main() { var read = 1; }`, "reserved"},
+		{`func print() {} func main() {}`, "reserved"},
+		{`func main() { var x = len(3); }`, "len expects an array"},
+		{`var s; func main() { var x = len(s); }`, "len expects an array, got scalar"},
+	}
+	for _, c := range cases {
+		wantErr(t, c.src, c.frag)
+	}
+}
+
+func TestConstArraySizes(t *testing.T) {
+	info := analyze(t, `
+var a[2 + 3];
+var b[1 << 4];
+var c[20 / 2];
+func main() { print(len(a), len(b), len(c)); }`)
+	if s := info.SymbolByName("a"); s.Size != 5 {
+		t.Errorf("a size = %d", s.Size)
+	}
+	if s := info.SymbolByName("b"); s.Size != 16 {
+		t.Errorf("b size = %d", s.Size)
+	}
+	if s := info.SymbolByName("c"); s.Size != 10 {
+		t.Errorf("c size = %d", s.Size)
+	}
+}
+
+func TestLoopOfTracking(t *testing.T) {
+	info := analyze(t, `
+func main() {
+    while (1) {
+        if (read()) { break; }
+    }
+    for (var i = 0; i < 2; i++) {
+        continue;
+    }
+}`)
+	var brk, cont int
+	for _, s := range info.Stmts {
+		switch s.(type) {
+		case *ast.BreakStmt:
+			brk = s.ID()
+		case *ast.ContinueStmt:
+			cont = s.ID()
+		}
+	}
+	if _, ok := info.LoopOf[brk].(*ast.WhileStmt); !ok {
+		t.Errorf("break's loop = %T", info.LoopOf[brk])
+	}
+	if _, ok := info.LoopOf[cont].(*ast.ForStmt); !ok {
+		t.Errorf("continue's loop = %T", info.LoopOf[cont])
+	}
+}
+
+func TestSymbolString(t *testing.T) {
+	info := analyze(t, `var g; func f(x) { return x; } func main() { g = 1; }`)
+	if got := info.SymbolByName("g").String(); got != "g" {
+		t.Errorf("global renders %q", got)
+	}
+	if got := info.SymbolByName("f.x").String(); got != "f.x" {
+		t.Errorf("param renders %q", got)
+	}
+	if Global.String() != "global" || Local.String() != "local" || Param.String() != "param" {
+		t.Error("SymKind strings broken")
+	}
+}
+
+// TestSlotAssignment: globals and per-function locals get dense slots.
+func TestSlotAssignment(t *testing.T) {
+	info := analyze(t, `
+var g1;
+var g2;
+var arr[4];
+func f(a, b) {
+    var x = a;
+    return x + b;
+}
+func main() {
+    var y = 0;
+    g1 = y;
+}`)
+	// Globals: dense 0..2 in declaration order.
+	wantGlobal := map[string]int{"g1": 0, "g2": 1, "arr": 2}
+	for name, slot := range wantGlobal {
+		if s := info.SymbolByName(name); s.Slot != slot {
+			t.Errorf("%s slot = %d, want %d", name, s.Slot, slot)
+		}
+	}
+	if info.NumGlobalSlots != 3 {
+		t.Errorf("NumGlobalSlots = %d, want 3", info.NumGlobalSlots)
+	}
+	// f's params and locals: a=0, b=1, x=2.
+	f := info.Funcs["f"]
+	if f.NumSlots() != 3 {
+		t.Errorf("f slots = %d, want 3", f.NumSlots())
+	}
+	for i, name := range []string{"a", "b", "x"} {
+		if s := info.SymbolByName("f." + name); s.Slot != i {
+			t.Errorf("f.%s slot = %d, want %d", name, s.Slot, i)
+		}
+	}
+	// main's y restarts at 0: slots are per function.
+	if s := info.SymbolByName("main.y"); s.Slot != 0 {
+		t.Errorf("main.y slot = %d, want 0", s.Slot)
+	}
+}

@@ -1,0 +1,301 @@
+// Package token defines the lexical tokens of the MiniC language and
+// source positions used throughout the front end.
+//
+// MiniC is the deterministic, C-like language that serves as the execution
+// substrate for the execution-omission-error localization technique of
+// Zhang et al. (PLDI 2007). See DESIGN.md for the language summary.
+package token
+
+import "fmt"
+
+// Kind enumerates the lexical token kinds of MiniC.
+type Kind int
+
+// Token kinds. The ordering groups literals, keywords and operators so
+// that predicates like IsKeyword can use range checks.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	COMMENT
+
+	literalBeg
+	IDENT  // foo
+	INT    // 12345
+	STRING // "abc"
+	literalEnd
+
+	keywordBeg
+	VAR      // var
+	FUNC     // func
+	IF       // if
+	ELSE     // else
+	WHILE    // while
+	FOR      // for
+	BREAK    // break
+	CONTINUE // continue
+	RETURN   // return
+	keywordEnd
+
+	operatorBeg
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	AND // &
+	OR  // |
+	XOR // ^
+	SHL // <<
+	SHR // >>
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+	TILD // ~
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	LEQ // <=
+	GTR // >
+	GEQ // >=
+
+	ASSIGN     // =
+	ADD_ASSIGN // +=
+	SUB_ASSIGN // -=
+	MUL_ASSIGN // *=
+	QUO_ASSIGN // /=
+	REM_ASSIGN // %=
+	AND_ASSIGN // &=
+	OR_ASSIGN  // |=
+	XOR_ASSIGN // ^=
+	SHL_ASSIGN // <<=
+	SHR_ASSIGN // >>=
+	INC        // ++
+	DEC        // --
+
+	LPAREN // (
+	RPAREN // )
+	LBRACK // [
+	RBRACK // ]
+	LBRACE // {
+	RBRACE // }
+	COMMA  // ,
+	SEMI   // ;
+	operatorEnd
+)
+
+var kindStrings = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	COMMENT: "COMMENT",
+
+	IDENT:  "IDENT",
+	INT:    "INT",
+	STRING: "STRING",
+
+	VAR:      "var",
+	FUNC:     "func",
+	IF:       "if",
+	ELSE:     "else",
+	WHILE:    "while",
+	FOR:      "for",
+	BREAK:    "break",
+	CONTINUE: "continue",
+	RETURN:   "return",
+
+	ADD: "+",
+	SUB: "-",
+	MUL: "*",
+	QUO: "/",
+	REM: "%",
+
+	AND: "&",
+	OR:  "|",
+	XOR: "^",
+	SHL: "<<",
+	SHR: ">>",
+
+	LAND: "&&",
+	LOR:  "||",
+	NOT:  "!",
+	TILD: "~",
+
+	EQL: "==",
+	NEQ: "!=",
+	LSS: "<",
+	LEQ: "<=",
+	GTR: ">",
+	GEQ: ">=",
+
+	ASSIGN:     "=",
+	ADD_ASSIGN: "+=",
+	SUB_ASSIGN: "-=",
+	MUL_ASSIGN: "*=",
+	QUO_ASSIGN: "/=",
+	REM_ASSIGN: "%=",
+	AND_ASSIGN: "&=",
+	OR_ASSIGN:  "|=",
+	XOR_ASSIGN: "^=",
+	SHL_ASSIGN: "<<=",
+	SHR_ASSIGN: ">>=",
+	INC:        "++",
+	DEC:        "--",
+
+	LPAREN: "(",
+	RPAREN: ")",
+	LBRACK: "[",
+	RBRACK: "]",
+	LBRACE: "{",
+	RBRACE: "}",
+	COMMA:  ",",
+	SEMI:   ";",
+}
+
+// String returns the textual form of the token kind: the literal spelling
+// for keywords and operators, and the kind name for the rest.
+func (k Kind) String() string {
+	if s, ok := kindStrings[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsLiteral reports whether k is an identifier or a basic literal.
+func (k Kind) IsLiteral() bool { return literalBeg < k && k < literalEnd }
+
+// IsKeyword reports whether k is a keyword.
+func (k Kind) IsKeyword() bool { return keywordBeg < k && k < keywordEnd }
+
+// IsOperator reports whether k is an operator or delimiter.
+func (k Kind) IsOperator() bool { return operatorBeg < k && k < operatorEnd }
+
+var keywords = map[string]Kind{
+	"var":      VAR,
+	"func":     FUNC,
+	"if":       IF,
+	"else":     ELSE,
+	"while":    WHILE,
+	"for":      FOR,
+	"break":    BREAK,
+	"continue": CONTINUE,
+	"return":   RETURN,
+}
+
+// Lookup maps an identifier to its keyword kind, or IDENT if it is not a
+// keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a source position: 1-based line and column. The zero Pos is
+// "no position".
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position carries real location information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as "line:col".
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Before reports whether p occurs strictly before q in the source text.
+func (p Pos) Before(q Pos) bool {
+	return p.Line < q.Line || (p.Line == q.Line && p.Col < q.Col)
+}
+
+// Token is a lexical token: its kind, literal text and position.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, INT, STRING, COMMENT, ILLEGAL
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Kind.IsLiteral() || t.Kind == ILLEGAL || t.Kind == COMMENT {
+		return fmt.Sprintf("%s(%q)", kindStrings[t.Kind], t.Lit)
+	}
+	return t.Kind.String()
+}
+
+// Precedence returns the binary-operator precedence of k (higher binds
+// tighter), or 0 if k is not a binary operator. The levels follow C:
+//
+//	1: ||
+//	2: &&
+//	3: == !=
+//	4: < <= > >=
+//	5: | ^
+//	6: &
+//	7: << >>
+//	8: + -
+//	9: * / %
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case EQL, NEQ:
+		return 3
+	case LSS, LEQ, GTR, GEQ:
+		return 4
+	case OR, XOR:
+		return 5
+	case AND:
+		return 6
+	case SHL, SHR:
+		return 7
+	case ADD, SUB:
+		return 8
+	case MUL, QUO, REM:
+		return 9
+	}
+	return 0
+}
+
+// AssignOp maps a compound-assignment token to the underlying binary
+// operator (ADD_ASSIGN -> ADD). It returns ILLEGAL for plain ASSIGN and
+// for non-assignment kinds.
+func (k Kind) AssignOp() Kind {
+	switch k {
+	case ADD_ASSIGN:
+		return ADD
+	case SUB_ASSIGN:
+		return SUB
+	case MUL_ASSIGN:
+		return MUL
+	case QUO_ASSIGN:
+		return QUO
+	case REM_ASSIGN:
+		return REM
+	case AND_ASSIGN:
+		return AND
+	case OR_ASSIGN:
+		return OR
+	case XOR_ASSIGN:
+		return XOR
+	case SHL_ASSIGN:
+		return SHL
+	case SHR_ASSIGN:
+		return SHR
+	}
+	return ILLEGAL
+}
+
+// IsAssign reports whether k is an assignment operator (= or compound).
+func (k Kind) IsAssign() bool {
+	return k == ASSIGN || k.AssignOp() != ILLEGAL
+}

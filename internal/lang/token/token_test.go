@@ -1,0 +1,130 @@
+package token
+
+import "testing"
+
+func TestKindClassification(t *testing.T) {
+	cases := []struct {
+		k                          Kind
+		literal, keyword, operator bool
+	}{
+		{IDENT, true, false, false},
+		{INT, true, false, false},
+		{STRING, true, false, false},
+		{VAR, false, true, false},
+		{WHILE, false, true, false},
+		{RETURN, false, true, false},
+		{ADD, false, false, true},
+		{SHR_ASSIGN, false, false, true},
+		{SEMI, false, false, true},
+		{EOF, false, false, false},
+		{ILLEGAL, false, false, false},
+	}
+	for _, c := range cases {
+		if c.k.IsLiteral() != c.literal {
+			t.Errorf("%v.IsLiteral() = %v", c.k, c.k.IsLiteral())
+		}
+		if c.k.IsKeyword() != c.keyword {
+			t.Errorf("%v.IsKeyword() = %v", c.k, c.k.IsKeyword())
+		}
+		if c.k.IsOperator() != c.operator {
+			t.Errorf("%v.IsOperator() = %v", c.k, c.k.IsOperator())
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if Lookup("while") != WHILE {
+		t.Error("while should be a keyword")
+	}
+	if Lookup("whilex") != IDENT {
+		t.Error("whilex should be an identifier")
+	}
+	if Lookup("") != IDENT {
+		t.Error("empty string should be an identifier")
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// levels must strictly increase along this chain
+	chain := []Kind{LOR, LAND, EQL, LSS, OR, AND, SHL, ADD, MUL}
+	for i := 1; i < len(chain); i++ {
+		if chain[i].Precedence() <= chain[i-1].Precedence() {
+			t.Errorf("%v (%d) should bind tighter than %v (%d)",
+				chain[i], chain[i].Precedence(), chain[i-1], chain[i-1].Precedence())
+		}
+	}
+	if SEMI.Precedence() != 0 || IDENT.Precedence() != 0 {
+		t.Error("non-binary tokens must have precedence 0")
+	}
+	// XOR and OR share a level; NEQ and EQL share a level.
+	if XOR.Precedence() != OR.Precedence() || NEQ.Precedence() != EQL.Precedence() {
+		t.Error("level sharing broken")
+	}
+}
+
+func TestAssignOp(t *testing.T) {
+	cases := map[Kind]Kind{
+		ADD_ASSIGN: ADD, SUB_ASSIGN: SUB, MUL_ASSIGN: MUL, QUO_ASSIGN: QUO,
+		REM_ASSIGN: REM, AND_ASSIGN: AND, OR_ASSIGN: OR, XOR_ASSIGN: XOR,
+		SHL_ASSIGN: SHL, SHR_ASSIGN: SHR,
+	}
+	for compound, base := range cases {
+		if compound.AssignOp() != base {
+			t.Errorf("%v.AssignOp() = %v, want %v", compound, compound.AssignOp(), base)
+		}
+		if !compound.IsAssign() {
+			t.Errorf("%v should be an assignment", compound)
+		}
+	}
+	if ASSIGN.AssignOp() != ILLEGAL {
+		t.Error("plain = has no base operator")
+	}
+	if !ASSIGN.IsAssign() {
+		t.Error("plain = is an assignment")
+	}
+	if ADD.IsAssign() {
+		t.Error("+ is not an assignment")
+	}
+}
+
+func TestPos(t *testing.T) {
+	var zero Pos
+	if zero.IsValid() {
+		t.Error("zero Pos must be invalid")
+	}
+	if zero.String() != "-" {
+		t.Errorf("zero Pos renders %q", zero.String())
+	}
+	p := Pos{Line: 3, Col: 7}
+	if !p.IsValid() || p.String() != "3:7" {
+		t.Errorf("Pos render: %q", p.String())
+	}
+	q := Pos{Line: 3, Col: 9}
+	if !p.Before(q) || q.Before(p) {
+		t.Error("Before on same line broken")
+	}
+	r := Pos{Line: 4, Col: 1}
+	if !p.Before(r) || r.Before(p) {
+		t.Error("Before across lines broken")
+	}
+	if p.Before(p) {
+		t.Error("Before must be irreflexive")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: IDENT, Lit: "foo"}
+	if tok.String() != `IDENT("foo")` {
+		t.Errorf("token string: %q", tok.String())
+	}
+	tok = Token{Kind: WHILE}
+	if tok.String() != "while" {
+		t.Errorf("keyword string: %q", tok.String())
+	}
+	if SHL.String() != "<<" {
+		t.Errorf("operator string: %q", SHL.String())
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kinds must still render")
+	}
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"eol/internal/core"
+	"eol/internal/oracle"
+	"eol/internal/testsupport"
+)
+
+func TestMarkdownReport(t *testing.T) {
+	c := testsupport.Compile(t, testsupport.Fig1Faulty)
+	fixed := testsupport.Compile(t, testsupport.Fig1Fixed)
+	expected := testsupport.Run(t, fixed, testsupport.Fig1Input).OutputValues()
+	root := testsupport.StmtID(t, c, "read() * 0")
+
+	rep, err := core.Locate(&core.Spec{
+		Program:   c,
+		Input:     testsupport.Fig1Input,
+		Expected:  expected,
+		RootCause: []int{root},
+		Oracle:    &oracle.StateOracle{Correct: testsupport.Run(t, fixed, testsupport.Fig1Input).Trace},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := Markdown(Input{Program: c, Report: rep, RootCause: []int{root}})
+
+	for _, want := range []string{
+		"# Execution omission localization report",
+		"## Failure",
+		"printed **0**, expected **8**",
+		"## Slices",
+		"| dynamic slice (DS) |",
+		"| no |", // DS misses the root
+		"## Verification log",
+		"STRONG_ID",
+		"## Verified implicit dependences",
+		"--sid-->",
+		"## Fault candidates",
+		"← **ROOT CAUSE**",
+		"**Root cause located:**",
+		"read() * 0",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q\n----\n%s", want, md)
+		}
+	}
+}
+
+func TestMarkdownReportNotLocated(t *testing.T) {
+	// The Table 5(b) case without the perturbation fallback: not located.
+	faulty := `
+func main() {
+    var A = read() * 0 + 5;
+    var X = 1;
+    if (A > 10) {
+        if (A > 100) {
+            X = 2;
+        }
+    }
+    print(X);
+}`
+	c := testsupport.Compile(t, faulty)
+	root := testsupport.StmtID(t, c, "read() * 0 + 5")
+	rep, err := core.Locate(&core.Spec{
+		Program:   c,
+		Input:     []int64{200},
+		Expected:  []int64{2},
+		RootCause: []int{root},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := Markdown(Input{Program: c, Report: rep, RootCause: []int{root}})
+	if !strings.Contains(md, "**Root cause not located.**") {
+		t.Errorf("report should state the miss:\n%s", md)
+	}
+}

@@ -1,0 +1,273 @@
+package testsupport
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenConfig bounds the random program generator.
+type GenConfig struct {
+	// MaxStmts bounds the statements per block (default 6).
+	MaxStmts int
+	// MaxDepth bounds statement nesting (default 3).
+	MaxDepth int
+	// MaxExprDepth bounds expression nesting (default 3).
+	MaxExprDepth int
+	// Helpers is the number of helper functions (default 2).
+	Helpers int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MaxStmts <= 0 {
+		c.MaxStmts = 6
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.MaxExprDepth <= 0 {
+		c.MaxExprDepth = 3
+	}
+	if c.Helpers < 0 {
+		c.Helpers = 0
+	} else if c.Helpers == 0 {
+		c.Helpers = 2
+	}
+	return c
+}
+
+// RandomProgram generates a random MiniC program that is guaranteed to
+// compile, terminate, and run without runtime errors on any input:
+//
+//   - loops are bounded fors over literal trip counts (≤ 8),
+//   - array indices are loop variables or small literals (< the size),
+//   - divisors, moduli and shift counts are nonzero literals,
+//   - every variable is declared before use with a fresh name.
+//
+// It exists for property-based testing: the dynamic analyses must uphold
+// their invariants on arbitrary structured programs, not just the
+// hand-written benchmarks.
+func RandomProgram(rnd *rand.Rand, cfg GenConfig) string {
+	g := &generator{rnd: rnd, cfg: cfg.withDefaults()}
+	return g.program()
+}
+
+type generator struct {
+	rnd     *rand.Rand
+	cfg     GenConfig
+	nextVar int
+	helpers []string // helper function names
+
+	// scopes of in-scope scalar variable names
+	scopes [][]string
+	// loopVars in scope (always < arraySize)
+	loopVars []string
+
+	sb    strings.Builder
+	depth int
+}
+
+const arrayName = "g"
+const arraySize = 8
+
+func (g *generator) program() string {
+	fmt.Fprintf(&g.sb, "var %s[%d];\nvar total;\n\n", arrayName, arraySize)
+
+	for i := 0; i < g.cfg.Helpers; i++ {
+		name := fmt.Sprintf("h%d", i)
+		// The body may call only earlier helpers (no recursion): the
+		// helper joins g.helpers after its body is generated.
+		fmt.Fprintf(&g.sb, "func %s(x) {\n", name)
+		g.pushScope("x")
+		g.line(1, fmt.Sprintf("return %s;", g.expr(2)))
+		g.popScope()
+		fmt.Fprintf(&g.sb, "}\n\n")
+		g.helpers = append(g.helpers, name)
+	}
+
+	fmt.Fprintf(&g.sb, "func main() {\n")
+	g.pushScope()
+	n := 2 + g.rnd.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(1)
+	}
+	// Always observe some state so slices have seeds.
+	g.line(1, "print(total);")
+	g.line(1, fmt.Sprintf("print(%s[%d]);", arrayName, g.rnd.Intn(arraySize)))
+	g.popScope()
+	fmt.Fprintf(&g.sb, "}\n")
+	return g.sb.String()
+}
+
+func (g *generator) pushScope(vars ...string) {
+	g.scopes = append(g.scopes, vars)
+}
+
+func (g *generator) popScope() {
+	g.scopes = g.scopes[:len(g.scopes)-1]
+}
+
+func (g *generator) declare() string {
+	name := fmt.Sprintf("v%d", g.nextVar)
+	g.nextVar++
+	top := len(g.scopes) - 1
+	g.scopes[top] = append(g.scopes[top], name)
+	return name
+}
+
+// assignable returns the in-scope variables that may be written: loop
+// counters are excluded so array indexing stays in bounds.
+func (g *generator) assignable() []string {
+	loop := map[string]bool{}
+	for _, v := range g.loopVars {
+		loop[v] = true
+	}
+	var res []string
+	for _, v := range g.inScope() {
+		if !loop[v] {
+			res = append(res, v)
+		}
+	}
+	return res
+}
+
+func (g *generator) inScope() []string {
+	var all []string
+	for _, sc := range g.scopes {
+		all = append(all, sc...)
+	}
+	all = append(all, "total")
+	return all
+}
+
+func (g *generator) line(depth int, s string) {
+	g.sb.WriteString(strings.Repeat("    ", depth))
+	g.sb.WriteString(s)
+	g.sb.WriteByte('\n')
+}
+
+func (g *generator) stmt(depth int) {
+	roll := g.rnd.Intn(100)
+	switch {
+	case roll < 25: // declaration (init generated first: not yet in scope)
+		init := g.expr(depth)
+		name := g.declare()
+		g.line(depth, fmt.Sprintf("var %s = %s;", name, init))
+	case roll < 45: // assignment (never to a loop counter: indices stay safe)
+		vars := g.assignable()
+		target := vars[g.rnd.Intn(len(vars))]
+		ops := []string{"=", "+=", "-=", "^="}
+		g.line(depth, fmt.Sprintf("%s %s %s;", target, ops[g.rnd.Intn(len(ops))], g.expr(depth)))
+	case roll < 55: // array write (safe index)
+		g.line(depth, fmt.Sprintf("%s[%s] = %s;", arrayName, g.index(), g.expr(depth)))
+	case roll < 70 && depth < g.cfg.MaxDepth: // if / if-else
+		g.line(depth, fmt.Sprintf("if (%s) {", g.expr(depth)))
+		g.block(depth + 1)
+		if g.rnd.Intn(2) == 0 {
+			g.line(depth, "} else {")
+			g.block(depth + 1)
+		}
+		g.line(depth, "}")
+	case roll < 85 && depth < g.cfg.MaxDepth: // bounded for
+		iv := fmt.Sprintf("i%d", g.nextVar)
+		g.nextVar++
+		trips := 1 + g.rnd.Intn(arraySize)
+		g.line(depth, fmt.Sprintf("for (var %s = 0; %s < %d; %s++) {", iv, iv, trips, iv))
+		g.loopVars = append(g.loopVars, iv)
+		g.pushScope(iv)
+		g.block(depth + 1)
+		// occasionally break/continue guarded by a condition
+		if g.rnd.Intn(3) == 0 {
+			kw := "continue"
+			if g.rnd.Intn(2) == 0 {
+				kw = "break"
+			}
+			g.line(depth+1, fmt.Sprintf("if (%s) { %s; }", g.expr(depth+1), kw))
+		}
+		g.popScope()
+		g.loopVars = g.loopVars[:len(g.loopVars)-1]
+		g.line(depth, "}")
+	case roll < 92: // print
+		g.line(depth, fmt.Sprintf("print(%s);", g.expr(depth)))
+	default: // accumulate into total (keeps data flowing to the output)
+		g.line(depth, fmt.Sprintf("total = total + %s;", g.expr(depth)))
+	}
+}
+
+func (g *generator) block(depth int) {
+	g.pushScope()
+	n := 1 + g.rnd.Intn(3)
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+	g.popScope()
+}
+
+// index produces an always-in-bounds array index.
+func (g *generator) index() string {
+	if len(g.loopVars) > 0 && g.rnd.Intn(2) == 0 {
+		return g.loopVars[g.rnd.Intn(len(g.loopVars))]
+	}
+	return fmt.Sprintf("%d", g.rnd.Intn(arraySize))
+}
+
+func (g *generator) expr(depth int) string {
+	if depth >= g.cfg.MaxExprDepth+1 || g.rnd.Intn(3) == 0 {
+		return g.atom()
+	}
+	switch g.rnd.Intn(10) {
+	case 0, 1:
+		ops := []string{"+", "-", "*", "&", "|", "^"}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth+1), ops[g.rnd.Intn(len(ops))], g.expr(depth+1))
+	case 2:
+		cmp := []string{"<", "<=", ">", ">=", "==", "!="}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth+1), cmp[g.rnd.Intn(len(cmp))], g.expr(depth+1))
+	case 3:
+		// safe modulo / division by a nonzero literal
+		op := "%"
+		if g.rnd.Intn(2) == 0 {
+			op = "/"
+		}
+		return fmt.Sprintf("(%s %s %d)", g.expr(depth+1), op, 2+g.rnd.Intn(7))
+	case 4:
+		logic := []string{"&&", "||"}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth+1), logic[g.rnd.Intn(2)], g.expr(depth+1))
+	case 5:
+		// 0-x rather than -x: a negative-literal atom would lex as "--".
+		return fmt.Sprintf("(0 - %s)", g.atom())
+	case 6:
+		if len(g.helpers) > 0 {
+			h := g.helpers[g.rnd.Intn(len(g.helpers))]
+			return fmt.Sprintf("%s(%s)", h, g.expr(depth+1))
+		}
+		return g.atom()
+	case 7:
+		return fmt.Sprintf("(%s << %d)", g.atom(), g.rnd.Intn(5))
+	default:
+		ops := []string{"+", "-", "*"}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth+1), ops[g.rnd.Intn(len(ops))], g.expr(depth+1))
+	}
+}
+
+func (g *generator) atom() string {
+	switch g.rnd.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", g.rnd.Intn(20)-5)
+	case 1:
+		return "read()"
+	case 2:
+		return fmt.Sprintf("%s[%s]", arrayName, g.index())
+	default:
+		vars := g.inScope()
+		return vars[g.rnd.Intn(len(vars))]
+	}
+}
+
+// RandomInput generates an input vector for generated programs.
+func RandomInput(rnd *rand.Rand, n int) []int64 {
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(rnd.Intn(41) - 20)
+	}
+	return in
+}

@@ -1,0 +1,55 @@
+package trace
+
+// Ancestry is an Euler-tour index over the region forest, answering
+// ancestor queries in O(1). Loop iterations nest (each re-evaluation of a
+// loop predicate is a child of the previous one), so the naive
+// parent-chain walk is O(iterations); analyses that test many pairs use
+// this index instead.
+type Ancestry struct {
+	in, out []int
+}
+
+// Ancestry builds (or returns the cached) ancestor index. The trace must
+// not be appended to afterwards.
+func (t *Trace) Ancestry() *Ancestry {
+	if t.anc != nil && len(t.anc.in) == len(t.Entries) {
+		return t.anc
+	}
+	a := &Ancestry{in: make([]int, len(t.Entries)), out: make([]int, len(t.Entries))}
+	clock := 0
+	// Iterative DFS over the forest, children in execution order.
+	type item struct {
+		idx   int
+		child int
+	}
+	var stack []item
+	push := func(i int) {
+		a.in[i] = clock
+		clock++
+		stack = append(stack, item{idx: i})
+	}
+	for _, r := range t.rootsList {
+		push(r)
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			kids := t.children[top.idx]
+			if top.child < len(kids) {
+				c := kids[top.child]
+				top.child++
+				push(c)
+				continue
+			}
+			a.out[top.idx] = clock
+			clock++
+			stack = stack[:len(stack)-1]
+		}
+	}
+	t.anc = a
+	return a
+}
+
+// IsAncestor reports whether x is an ancestor of y in the region forest
+// (reflexive).
+func (a *Ancestry) IsAncestor(x, y int) bool {
+	return a.in[x] <= a.in[y] && a.out[y] <= a.out[x]
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// wireTrace is the serialized form: entries and outputs only — the
+// derived indices (children lists, instance map, ancestry) are rebuilt on
+// decode.
+type wireTrace struct {
+	Entries []Entry
+	Outputs []Output
+}
+
+// Encode writes the trace in gob format. The paper's prototype persisted
+// dependence graphs between the online (valgrind) and offline (debugging)
+// components; Encode/Decode play that role here, letting traces be
+// captured once and analyzed by separate processes.
+func (t *Trace) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(wireTrace{Entries: t.Entries, Outputs: t.Outputs})
+}
+
+// Decode reads a trace written by Encode and rebuilds all derived
+// indices.
+func Decode(r io.Reader) (*Trace, error) {
+	var wt wireTrace
+	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	t := New()
+	for i, e := range wt.Entries {
+		if e.Parent >= i {
+			return nil, fmt.Errorf("trace: decode: entry %d has forward parent %d", i, e.Parent)
+		}
+		t.Append(e)
+	}
+	t.Outputs = wt.Outputs
+	return t, nil
+}

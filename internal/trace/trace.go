@@ -1,0 +1,251 @@
+// Package trace defines the execution trace model produced by the MiniC
+// interpreter and consumed by every dynamic analysis in this repository.
+//
+// A trace is a sequence of *entries*, one per executed statement instance,
+// in execution order (the entry index doubles as the timestamp the paper's
+// prototype attached to its dependence graph). Each entry records:
+//
+//   - its statement instance (statement ID, occurrence number),
+//   - its dynamic control parent (the most recent open predicate instance
+//     it is statically control dependent on, or the call-site instance for
+//     the top level of a callee) — the parent relation *is* the region
+//     decomposition of Definition 3 of the PLDI 2007 paper,
+//   - the cells it read, each with the trace index of the defining entry
+//     (dynamic data dependences),
+//   - the cells it defined and the produced value,
+//   - for predicates, the taken branch and whether it was forcibly
+//     switched.
+//
+// Output events (printed int values) are recorded separately with their
+// producing entry; they are the observations that confidence analysis and
+// the strong-implicit-dependence check (Definition 4) work from.
+package trace
+
+import (
+	"fmt"
+
+	"eol/internal/cfg"
+)
+
+// NoDef marks a use whose value did not come from any traced definition
+// (uninitialized cell, program input, or function return plumbing).
+const NoDef = -1
+
+// Instance identifies a statement instance: the Occ-th dynamic execution
+// of statement Stmt. Occ is 1-based, matching the paper's "15(1)" style
+// notation.
+type Instance struct {
+	Stmt int
+	Occ  int
+}
+
+// String renders the instance in the paper's notation, e.g. "S15#2".
+func (i Instance) String() string { return fmt.Sprintf("S%d#%d", i.Stmt, i.Occ) }
+
+// UseRec records one dynamic use: the abstract location read and the
+// trace index of the entry that defined the value (NoDef if none).
+type UseRec struct {
+	Sym  int   // symbol ID; RetvalSym for a consumed return value
+	Elem int64 // array element index, or ScalarElem
+	Def  int   // trace index of defining entry, or NoDef
+	Val  int64 // the value read
+}
+
+// ScalarElem is the Elem value for scalar cells.
+const ScalarElem int64 = -1
+
+// RetvalSym is the pseudo symbol ID used for function return values.
+const RetvalSym = -2
+
+// DefRec records one dynamic definition: the abstract location written.
+type DefRec struct {
+	Sym  int
+	Elem int64
+}
+
+// Entry is one executed statement instance.
+type Entry struct {
+	Idx    int      // == position in Trace.Entries (timestamp)
+	Inst   Instance // statement instance
+	Frame  int      // activation frame ID (0 = globals, 1 = main, ...)
+	Parent int      // trace index of the dynamic control parent, or -1
+
+	Uses []UseRec
+	Defs []DefRec
+
+	// Value is the primary value produced: assigned value for
+	// assignments/declarations, branch outcome (0/1) for predicates,
+	// returned value for returns.
+	Value int64
+
+	// Branch is the *effective* branch outcome for predicates (after any
+	// forced switch); cfg.None for non-predicates.
+	Branch cfg.Label
+
+	// Switched marks the predicate instance whose outcome was forcibly
+	// inverted in this run.
+	Switched bool
+}
+
+// Output is one printed int value.
+type Output struct {
+	Seq   int // 0-based global output sequence number
+	Entry int // producing trace entry index
+	Arg   int // 0-based index among the int arguments of the print stmt
+	Value int64
+}
+
+// Trace is a complete execution trace.
+type Trace struct {
+	Entries []Entry
+	Outputs []Output
+
+	// children[i] lists the trace indices whose Parent == i, in order.
+	// Roots (Parent == -1) are in rootsList.
+	children  [][]int
+	rootsList []int
+
+	// instIdx maps an Instance to its trace index.
+	instIdx map[Instance]int
+
+	// anc is the lazily built ancestor index; see Ancestry.
+	anc *Ancestry
+
+	// stmtInsts maps a statement ID to its instance trace indices in
+	// execution order; built lazily by InstancesOf.
+	stmtInsts map[int][]int
+}
+
+// InstancesOf returns the trace indices of all instances of statement id,
+// in execution order. The index is built lazily on first call; the trace
+// must not be appended to afterwards.
+func (t *Trace) InstancesOf(stmt int) []int {
+	if t.stmtInsts == nil {
+		t.stmtInsts = map[int][]int{}
+		for i := range t.Entries {
+			s := t.Entries[i].Inst.Stmt
+			t.stmtInsts[s] = append(t.stmtInsts[s], i)
+		}
+	}
+	return t.stmtInsts[stmt]
+}
+
+// New creates an empty trace.
+func New() *Trace {
+	return &Trace{instIdx: map[Instance]int{}}
+}
+
+// Append adds an entry (with Idx/Parent already set) and maintains the
+// derived indices. It returns the entry index.
+func (t *Trace) Append(e Entry) int {
+	e.Idx = len(t.Entries)
+	t.Entries = append(t.Entries, e)
+	t.children = append(t.children, nil)
+	if e.Parent >= 0 {
+		t.children[e.Parent] = append(t.children[e.Parent], e.Idx)
+	} else {
+		t.rootsList = append(t.rootsList, e.Idx)
+	}
+	t.instIdx[e.Inst] = e.Idx
+	return e.Idx
+}
+
+// Len returns the number of entries.
+func (t *Trace) Len() int { return len(t.Entries) }
+
+// At returns a pointer to entry i.
+func (t *Trace) At(i int) *Entry { return &t.Entries[i] }
+
+// Children returns the trace indices directly control dependent on entry
+// i (the members of entry i's region, excluding i itself and excluding
+// nested regions' members), in execution order.
+func (t *Trace) Children(i int) []int { return t.children[i] }
+
+// Roots returns the top-level entries (global initializers and the
+// statements of main's body not nested in any predicate).
+func (t *Trace) Roots() []int { return t.rootsList }
+
+// FindInstance returns the trace index of the given statement instance,
+// or -1 if it did not execute.
+func (t *Trace) FindInstance(inst Instance) int {
+	if i, ok := t.instIdx[inst]; ok {
+		return i
+	}
+	return -1
+}
+
+// Occurrences returns how many times statement id executed.
+func (t *Trace) Occurrences(stmt int) int {
+	n := 0
+	for occ := 1; ; occ++ {
+		if _, ok := t.instIdx[Instance{Stmt: stmt, Occ: occ}]; !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// OutputAt returns the output event with the given sequence number, or
+// nil.
+func (t *Trace) OutputAt(seq int) *Output {
+	if seq < 0 || seq >= len(t.Outputs) {
+		return nil
+	}
+	return &t.Outputs[seq]
+}
+
+// OutputsOf returns the output events produced by entry i.
+func (t *Trace) OutputsOf(i int) []Output {
+	var res []Output
+	for _, o := range t.Outputs {
+		if o.Entry == i {
+			res = append(res, o)
+		}
+	}
+	return res
+}
+
+// OutputValues returns just the printed values in order.
+func (t *Trace) OutputValues() []int64 {
+	vals := make([]int64, len(t.Outputs))
+	for i, o := range t.Outputs {
+		vals[i] = o.Value
+	}
+	return vals
+}
+
+// IsAncestor reports whether entry a is an ancestor of entry b in the
+// region tree (reflexive: IsAncestor(x, x) == true).
+func (t *Trace) IsAncestor(a, b int) bool {
+	for n := b; n >= 0; n = t.Entries[n].Parent {
+		if n == a {
+			return true
+		}
+	}
+	return false
+}
+
+// RegionDepth returns the depth of entry i in the region tree (roots have
+// depth 0).
+func (t *Trace) RegionDepth(i int) int {
+	d := 0
+	for n := t.Entries[i].Parent; n >= 0; n = t.Entries[n].Parent {
+		d++
+	}
+	return d
+}
+
+// UniqueStmts returns the set of distinct statement IDs appearing in the
+// given set of trace indices.
+func (t *Trace) UniqueStmts(idxs map[int]bool) map[int]bool {
+	res := map[int]bool{}
+	for i := range idxs {
+		res[t.Entries[i].Inst.Stmt] = true
+	}
+	return res
+}
+
+// String summarizes the trace.
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace{%d entries, %d outputs}", len(t.Entries), len(t.Outputs))
+}
