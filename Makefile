@@ -1,0 +1,30 @@
+# Convenience targets; tier-1 verification is `make build test`,
+# the race lane (ROADMAP.md) is `make race`.
+
+GO ?= go
+
+.PHONY: all build test race vet bench verify-table
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race lane: the verification engine fans verifications out over
+# goroutines and shares cached switched traces between them — run the
+# suite under the race detector whenever that machinery changes.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 10x .
+
+# Sequential vs parallel vs cached verification scheduling table.
+verify-table:
+	$(GO) run ./cmd/benchtab -table verify -reps 5

@@ -22,6 +22,7 @@ import (
 	"eol/internal/interp"
 	"eol/internal/slicing"
 	"eol/internal/trace"
+	"eol/internal/verifyengine"
 )
 
 // prepared caches benchmark-case preparation across benchmarks.
@@ -176,6 +177,117 @@ func BenchmarkTable4Performance(b *testing.B) {
 				v.VerifyDetailed(req)
 			}
 		})
+	}
+}
+
+// verifyWorkload enumerates a realistic verification batch for one case:
+// every potential dependence of every entry in the wrong output's dynamic
+// slice — the candidates that repeated expand iterations of Algorithm 2
+// feed to VerifyDep — capped at 96 requests. It also returns a factory
+// for fresh verifiers over the failing run.
+func verifyWorkload(b *testing.B, p *bench.Prepared) (func() *implicit.Verifier, []implicit.Request) {
+	b.Helper()
+	tr := p.Run.Trace
+	seq, _, ok := slicing.FirstWrongOutput(p.Run.OutputValues(), p.Expected)
+	if !ok {
+		b.Fatal("no failure")
+	}
+	wrong := *tr.OutputAt(seq)
+	newVerifier := func() *implicit.Verifier {
+		v := &implicit.Verifier{
+			C: p.Faulty, Input: p.Case.FailingInput, Orig: tr, WrongOut: wrong,
+		}
+		if seq < len(p.Expected) {
+			v.Vexp, v.HasVexp = p.Expected[seq], true
+		}
+		return v
+	}
+
+	cx := slicing.NewContext(p.Faulty, tr)
+	g := ddg.New(tr)
+	slice := slicing.Dynamic(g, slicing.FailureSeeds(tr, seq))
+	var reqs []implicit.Request
+	for _, u := range ddg.SortedEntries(slice) {
+		for _, pd := range cx.PotentialDeps(u) {
+			reqs = append(reqs, implicit.Request{
+				Pred: pd.Pred, Use: u, UseSym: pd.UseSym, UseElem: pd.UseElem,
+			})
+			if len(reqs) >= 96 {
+				return newVerifier, reqs
+			}
+		}
+	}
+	return newVerifier, reqs
+}
+
+// BenchmarkVerifyEngine measures the verification hot path — the batch of
+// switched re-executions + alignments behind one expand iteration — under
+// the three scheduling modes of internal/verifyengine: sequential
+// (workers=1, no cache), parallel (workers=4), and parallel + switched-run
+// cache. The cached mode additionally reports its cache hit rate.
+func BenchmarkVerifyEngine(b *testing.B) {
+	modes := []struct {
+		name             string
+		workers, cacheSz int
+	}{
+		{"seq", 1, -1},
+		{"par4", 4, -1},
+		{"par4cache", 4, 0},
+	}
+	for _, name := range allCaseNames() {
+		p := prep(b, name)
+		newVerifier, reqs := verifyWorkload(b, p)
+		if len(reqs) < 2 {
+			continue
+		}
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("%s/%s", name, m.name), func(b *testing.B) {
+				b.ReportMetric(float64(len(reqs)), "reqs")
+				var last verifyengine.Stats
+				for i := 0; i < b.N; i++ {
+					e := verifyengine.New(newVerifier(),
+						verifyengine.Config{Workers: m.workers, CacheSize: m.cacheSz})
+					e.VerifyBatch(reqs)
+					last = e.Stats()
+				}
+				if m.cacheSz >= 0 {
+					b.ReportMetric(100*last.HitRate(), "hit%")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkVerifyEngineLocate measures full localizations under the same
+// three scheduling modes — the end-to-end view, where verification is
+// one phase among tracing, slicing and confidence analysis.
+func BenchmarkVerifyEngineLocate(b *testing.B) {
+	modes := []struct {
+		name             string
+		workers, cacheSz int
+	}{
+		{"seq", 1, -1},
+		{"par4", 4, -1},
+		{"par4cache", 4, 0},
+	}
+	for _, name := range allCaseNames() {
+		p := prep(b, name)
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("%s/%s", name, m.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					spec := p.Spec()
+					spec.VerifyWorkers = m.workers
+					spec.VerifyCacheSize = m.cacheSz
+					rep, err := core.Locate(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Located {
+						b.Fatalf("%s: not located", name)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -9,9 +9,11 @@
 //	benchtab -table 2          RS / DS / PS slice sizes   (Table 2)
 //	benchtab -table 3          locator effectiveness      (Table 3)
 //	benchtab -table 4          performance                (Table 4)
-//	benchtab -table all        all four tables
+//	benchtab -table verify     verification engine: sequential vs
+//	                           parallel vs cached scheduling
+//	benchtab -table all        all of the above
 //	benchtab -ablation A|B|C|D ablation experiments (see DESIGN.md)
-//	benchtab -reps N           timing repetitions for Table 4
+//	benchtab -reps N           timing repetitions for tables 4/verify
 //	benchtab -cases            list the benchmark error cases
 package main
 
@@ -25,9 +27,9 @@ import (
 )
 
 func main() {
-	tableFlag := flag.String("table", "", "table to regenerate: 1, 2, 3, 4 or all")
+	tableFlag := flag.String("table", "", "table to regenerate: 1, 2, 3, 4, verify or all")
 	ablFlag := flag.String("ablation", "", "ablation to run: A, B, C or D")
-	repsFlag := flag.Int("reps", 20, "timing repetitions for Table 4")
+	repsFlag := flag.Int("reps", 20, "timing repetitions for tables 4 and verify")
 	casesFlag := flag.Bool("cases", false, "list benchmark error cases")
 	flag.Parse()
 
@@ -43,7 +45,7 @@ func main() {
 		}
 		fmt.Print(out)
 	case *tableFlag == "all":
-		for _, t := range []string{"1", "2", "3", "4"} {
+		for _, t := range []string{"1", "2", "3", "4", "verify"} {
 			out, err := harness.Render(t, *repsFlag)
 			if err != nil {
 				cliutil.Fatalf("benchtab: %v", err)

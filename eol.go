@@ -174,12 +174,14 @@ type Session struct {
 	cx       *slicing.Context
 	profile  *confidence.Profile
 
-	oracle    core.Oracle
-	pathMode  bool
-	perturbFB bool
-	crossFn   bool
-	maxIter   int
-	roots     []int
+	oracle       core.Oracle
+	pathMode     bool
+	perturbFB    bool
+	crossFn      bool
+	maxIter      int
+	roots        []int
+	verifyWorker int
+	verifyCache  int
 }
 
 // NewSession runs the program on input, compares against the expected
@@ -389,6 +391,20 @@ func WithMaxIterations(n int) LocateOption {
 	return func(s *Session) { s.maxIter = n }
 }
 
+// WithVerifyWorkers sizes the verification worker pool (0 = GOMAXPROCS,
+// 1 = sequential). Any value yields the same diagnosis — verification
+// scheduling is deterministic — only wall-clock time changes.
+func WithVerifyWorkers(n int) LocateOption {
+	return func(s *Session) { s.verifyWorker = n }
+}
+
+// WithVerifyCacheSize bounds the switched-run cache (0 = default size,
+// negative = disabled). Repeated verifications against the same predicate
+// instance reuse one re-execution.
+func WithVerifyCacheSize(n int) LocateOption {
+	return func(s *Session) { s.verifyCache = n }
+}
+
 type funcOracle struct {
 	p *Program
 	f func(Instance, string) bool
@@ -423,6 +439,11 @@ type Diagnosis struct {
 	ExpandedEdges int
 	// StrongEdges / ImplicitEdges count the verified edges added.
 	StrongEdges, ImplicitEdges int
+	// SwitchedRuns counts the re-executions actually performed by the
+	// verification engine; CacheHitRate is the fraction of switched-run
+	// lookups served from the cache instead of re-executing.
+	SwitchedRuns int64
+	CacheHitRate float64
 
 	program *Program
 }
@@ -465,6 +486,8 @@ func (s *Session) Locate(opts ...LocateOption) (*Diagnosis, error) {
 		PathMode:        s.pathMode,
 		PerturbFallback: s.perturbFB,
 		CrossFunctionPD: s.crossFn,
+		VerifyWorkers:   s.verifyWorker,
+		VerifyCacheSize: s.verifyCache,
 	}
 	rep, err := core.Locate(spec)
 	if err != nil {
@@ -478,6 +501,8 @@ func (s *Session) Locate(opts ...LocateOption) (*Diagnosis, error) {
 		ExpandedEdges: rep.ExpandedEdges,
 		StrongEdges:   rep.Graph.NumExtraEdges(ddg.StrongImplicit),
 		ImplicitEdges: rep.Graph.NumExtraEdges(ddg.Implicit),
+		SwitchedRuns:  rep.VerifyStats.Runs,
+		CacheHitRate:  rep.VerifyStats.HitRate(),
 		program:       s.p,
 	}
 	if rep.Located {

@@ -21,11 +21,36 @@
 //
 // The run records the effectiveness counters of Table 3: user prunings,
 // verifications, iterations, and expanded edges.
+//
+// # Mapping onto the paper
+//
+//	Locate            Algorithm 2 LocateFault: failing run, wrong-output
+//	                  detection, then the PruneSlicing/Expansion loop
+//	locator.pruneSlicing   Algorithm 2 line 3 and line 19 (the scripted
+//	                       interactive pass; Oracle = the programmer)
+//	locator.expand         Algorithm 2 lines 5-18 (VerifyDep over PD(u),
+//	                       verdict grouping, sibling uses of Fig. 5)
+//	locator.siblingUses    the "other uses t with p in PD(t)" of line 12
+//	Report                 the Table 3 row: UserPrunings, Verifications,
+//	                       Iterations, ExpandedEdges, IPS vs OS
+//
+// # Verification scheduling
+//
+// Verification — one switched re-execution plus alignment per candidate
+// — dominates the procedure's cost (the paper's Table 4 "Verification"
+// column). Locate therefore routes every per-iteration batch of
+// VerifyDep calls through internal/verifyengine: a bounded worker pool
+// with a switched-run cache. Spec.VerifyWorkers and Spec.VerifyCacheSize
+// size it. Scheduling is observably side-effect free: verdicts are
+// absorbed in deterministic rank order, so Report counters and the
+// VerifyLog are byte-identical for any worker count (see
+// docs/VERIFICATION_ENGINE.md).
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"eol/internal/confidence"
 	"eol/internal/ddg"
@@ -33,6 +58,7 @@ import (
 	"eol/internal/interp"
 	"eol/internal/slicing"
 	"eol/internal/trace"
+	"eol/internal/verifyengine"
 )
 
 // Oracle abstracts the programmer's two roles in Algorithm 2: judging
@@ -102,6 +128,18 @@ type Spec struct {
 	CrossFunctionPD bool
 	// BudgetFactor for switched re-executions (default 10).
 	BudgetFactor int
+	// VerifyWorkers sizes the verification worker pool: 0 means
+	// GOMAXPROCS, 1 forces sequential verification. Any value produces
+	// identical Report counters and VerifyLog order; only wall-clock
+	// time changes.
+	VerifyWorkers int
+	// VerifyCacheSize bounds the switched-run cache (entries): 0 means
+	// verifyengine.DefaultCacheSize, negative disables caching.
+	VerifyCacheSize int
+	// VerifyCache optionally shares a switched-run cache across Locate
+	// calls (e.g. many localizations of one program family). Overrides
+	// VerifyCacheSize.
+	VerifyCache *verifyengine.RunCache
 }
 
 // Report is the outcome of LocateFault, carrying the Table 3 counters.
@@ -132,6 +170,10 @@ type Report struct {
 
 	// VerifyLog records every verification performed, in order.
 	VerifyLog []implicit.LogEntry
+
+	// VerifyStats reports the verification engine's scheduling and
+	// switched-run-cache counters for this run.
+	VerifyStats verifyengine.Stats
 
 	// Trace and Graph expose the analyzed execution for reporting.
 	Trace *trace.Trace
@@ -195,9 +237,15 @@ func Locate(spec *Spec) (*Report, error) {
 		PathMode: spec.PathMode, BudgetFactor: spec.BudgetFactor,
 	}
 
+	eng := verifyengine.New(ver, verifyengine.Config{
+		Workers:   spec.VerifyWorkers,
+		CacheSize: spec.VerifyCacheSize,
+		Cache:     spec.VerifyCache,
+	})
+
 	rep := &Report{WrongOutput: wrong, Vexp: vexp, Trace: tr, Graph: g}
 
-	l := &locator{spec: spec, cx: cx, an: an, ver: ver, rep: rep,
+	l := &locator{spec: spec, cx: cx, an: an, ver: ver, eng: eng, rep: rep,
 		pdCache: map[int][]slicing.PDep{}, judged: map[int]bool{}}
 
 	// Initial PruneSlicing (Algorithm 2 line 3).
@@ -234,6 +282,7 @@ func Locate(spec *Spec) (*Report, error) {
 	l.finish()
 	rep.Verifications = ver.Verifications
 	rep.VerifyLog = ver.Log
+	rep.VerifyStats = eng.Stats()
 	return rep, nil
 }
 
@@ -242,6 +291,7 @@ type locator struct {
 	cx      *slicing.Context
 	an      *confidence.Analyzer
 	ver     *implicit.Verifier
+	eng     *verifyengine.Engine
 	rep     *Report
 	pdCache map[int][]slicing.PDep
 	judged  map[int]bool // entries already answered "corrupted" by the user
@@ -304,6 +354,12 @@ func (l *locator) rootInCandidates() bool {
 // expand verifies PD(u) and adds the verified (strong) implicit edges,
 // including the sibling uses of each verified predicate (Fig. 5).
 // It reports whether any edge was added.
+//
+// Each wave of VerifyDep calls goes through the engine as one batch: the
+// switched re-executions run on the worker pool, and the verdicts come
+// back in the batch's own order — PD(u) enumeration order first, then
+// per verified predicate the sibling uses in ascending entry order — so
+// the log and counters match a sequential pass over the same order.
 func (l *locator) expand(u int) bool {
 	pds := l.pd(u)
 	if len(pds) == 0 {
@@ -311,12 +367,15 @@ func (l *locator) expand(u int) bool {
 	}
 
 	// Group by verdict (Algorithm 2 lines 6-9).
-	byVerdict := map[implicit.Verdict][]slicing.PDep{}
-	for _, pd := range pds {
-		v := l.ver.Verify(implicit.Request{
+	reqs := make([]implicit.Request, len(pds))
+	for i, pd := range pds {
+		reqs[i] = implicit.Request{
 			Pred: pd.Pred, Use: u, UseSym: pd.UseSym, UseElem: pd.UseElem,
-		})
-		byVerdict[v] = append(byVerdict[v], pd)
+		}
+	}
+	byVerdict := map[implicit.Verdict][]slicing.PDep{}
+	for i, v := range l.eng.VerifyBatch(reqs) {
+		byVerdict[v] = append(byVerdict[v], pds[i])
 	}
 	kind := ddg.StrongImplicit
 	verdict := implicit.StrongID
@@ -337,18 +396,23 @@ func (l *locator) expand(u int) bool {
 		l.rep.Graph.AddEdge(u, pd.Pred, kind)
 		l.rep.ExpandedEdges++
 		added = true
+		var sibReqs []implicit.Request
+		var sibUse []int
 		for _, t := range l.siblingUses(pd.Pred, u) {
 			for _, tpd := range l.pd(t) {
 				if tpd.Pred != pd.Pred {
 					continue
 				}
-				v := l.ver.Verify(implicit.Request{
+				sibReqs = append(sibReqs, implicit.Request{
 					Pred: tpd.Pred, Use: t, UseSym: tpd.UseSym, UseElem: tpd.UseElem,
 				})
-				if v == verdict {
-					l.rep.Graph.AddEdge(t, tpd.Pred, kind)
-					l.rep.ExpandedEdges++
-				}
+				sibUse = append(sibUse, t)
+			}
+		}
+		for i, v := range l.eng.VerifyBatch(sibReqs) {
+			if v == verdict {
+				l.rep.Graph.AddEdge(sibUse[i], pd.Pred, kind)
+				l.rep.ExpandedEdges++
 			}
 		}
 	}
@@ -376,6 +440,9 @@ func (l *locator) siblingUses(p, u int) []int {
 		}
 		res = append(res, e)
 	}
+	// Ascending entry order: the set comes out of map iteration, and both
+	// the VerifyLog and reproducible batch scheduling need a stable order.
+	sort.Ints(res)
 	return res
 }
 

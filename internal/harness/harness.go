@@ -13,6 +13,26 @@
 //	         verifications, iterations and expanded edges; IPS ≈ OS
 //	Table 4  dependence-graph construction slows execution by large
 //	         factors; verification cost scales with re-executions
+//
+// # Mapping onto the paper
+//
+// Each TableN function prepares every bench.Case (compile both versions,
+// run the failing input traced, profile the passing inputs) and drives
+// the same entry points a user would: the slicers for Table 2,
+// core.Locate — Algorithm 2 end to end, with the ground-truth state
+// oracle standing in for the interactive programmer — for Table 3, and
+// interleaved min-of-N timing of the interpreter's Plain/Graph modes for
+// Table 4. Table3Row's fields are, one for one, the columns of the
+// paper's Table 3.
+//
+// # Beyond the paper
+//
+// VerifyTable extends Table 4's "Verification" column into an ablation
+// of the verification engine (internal/verifyengine): the same
+// localization run with sequential, parallel and cached scheduling,
+// cross-checked to produce identical Reports — wall-clock and cache hit
+// rate are the only things allowed to move. RenderAblation (ablation.go)
+// covers the paper-internal design ablations indexed in DESIGN.md.
 package harness
 
 import (
@@ -355,10 +375,17 @@ func WriteTable4(w io.Writer, rows []Table4Row) {
 	}
 }
 
-// Render runs and renders the requested table ("1".."4") into a string.
+// Render runs and renders the requested table ("1".."4", or "verify"
+// for the verification-engine throughput comparison) into a string.
 func Render(table string, reps int) (string, error) {
 	var sb strings.Builder
 	switch table {
+	case "verify", "5":
+		rows, err := VerifyTable(4, reps)
+		if err != nil {
+			return "", err
+		}
+		WriteVerifyTable(&sb, rows)
 	case "1":
 		WriteTable1(&sb, Table1())
 	case "2":
@@ -380,7 +407,7 @@ func Render(table string, reps int) (string, error) {
 		}
 		WriteTable4(&sb, rows)
 	default:
-		return "", fmt.Errorf("unknown table %q (want 1-4)", table)
+		return "", fmt.Errorf("unknown table %q (want 1-4 or verify)", table)
 	}
 	return sb.String(), nil
 }

@@ -57,6 +57,12 @@ func (v Verdict) String() string {
 }
 
 // Verifier verifies implicit dependences for one failing execution.
+//
+// A Verifier is not safe for concurrent use: Verify mutates the counters,
+// the log and the verdict memo. Concurrent schedulers (see
+// internal/verifyengine) give each worker a Clone and replay the results
+// into one base Verifier with Absorb, which keeps the observable state —
+// Verifications, Log order, memo — identical to a sequential run.
 type Verifier struct {
 	C     *interp.Compiled
 	Input []int64
@@ -77,21 +83,50 @@ type Verifier struct {
 	// edges out of p''s region (Algorithm 2's approximation).
 	PathMode bool
 
+	// Runner, if non-nil, supplies the switched re-executions — the seam
+	// where a scheduling/caching layer (internal/verifyengine) plugs in.
+	// When nil the interpreter is invoked inline.
+	Runner SwitchedRunner
+
 	// Verifications counts the re-executions performed.
 	Verifications int
 
 	// Log records every verification performed, in order.
 	Log []LogEntry
 
-	// cache memoizes verdicts per (pred instance, use instance, symbol).
-	cache map[cacheKey]Verdict
+	// memo memoizes verdicts per (pred instance, use instance, location).
+	memo map[MemoKey]Verdict
 }
 
-type cacheKey struct {
+// SwitchedRunner supplies switched re-executions of the verifier's
+// program on its failing input. Implementations must be safe for
+// concurrent use; the returned Result (and its trace) must be treated as
+// read-only by callers, since a caching runner shares it.
+type SwitchedRunner interface {
+	// SwitchedRun returns the (possibly cached) result of re-executing
+	// with pred's branch outcome inverted, bounded by budget steps.
+	SwitchedRun(pred trace.Instance, budget int) *interp.Result
+}
+
+// MemoKey identifies one verification judgment: the dependence pair
+// (p, u) plus the used location. Within one failing execution, requests
+// with equal keys have equal verdicts, so the key is what Verify
+// memoizes on — and what batch schedulers deduplicate on.
+type MemoKey struct {
 	pred trace.Instance
 	use  trace.Instance
 	sym  int
 	elem int64
+}
+
+// MemoKey returns the memoization key of req.
+func (v *Verifier) MemoKey(req Request) MemoKey {
+	return MemoKey{
+		pred: v.Orig.At(req.Pred).Inst,
+		use:  v.Orig.At(req.Use).Inst,
+		sym:  req.UseSym,
+		elem: req.UseElem,
+	}
 }
 
 // LogEntry records one verification for reporting.
@@ -129,21 +164,77 @@ type Result struct {
 // Verify runs one verification re-execution and classifies the
 // dependence. Verdicts are memoized per (p, u, location).
 func (v *Verifier) Verify(req Request) Verdict {
-	pe := v.Orig.At(req.Pred)
-	ue := v.Orig.At(req.Use)
-	key := cacheKey{pred: pe.Inst, use: ue.Inst, sym: req.UseSym, elem: req.UseElem}
-	if v.cache == nil {
-		v.cache = map[cacheKey]Verdict{}
-	}
-	if verdict, ok := v.cache[key]; ok {
+	if verdict, ok := v.Memoized(req); ok {
 		return verdict
 	}
-	res := v.VerifyDetailed(req)
-	v.cache[key] = res.Verdict
+	return v.record(req, v.VerifyDetailed(req).Verdict)
+}
+
+// Memoized returns the verdict already recorded for req, if any.
+func (v *Verifier) Memoized(req Request) (Verdict, bool) {
+	verdict, ok := v.memo[v.MemoKey(req)]
+	return verdict, ok
+}
+
+// Absorb records a verification result computed elsewhere (typically by
+// a worker Clone) as if Verify had produced it here: counted, logged and
+// memoized exactly once per key. On a repeated key the earlier verdict
+// wins and nothing is counted, mirroring Verify's memo hit. It returns
+// the effective verdict.
+func (v *Verifier) Absorb(req Request, res *Result) Verdict {
+	if verdict, ok := v.Memoized(req); ok {
+		return verdict
+	}
+	v.Verifications++
+	return v.record(req, res.Verdict)
+}
+
+// record memoizes and logs a fresh verdict for req.
+func (v *Verifier) record(req Request, verdict Verdict) Verdict {
+	if v.memo == nil {
+		v.memo = map[MemoKey]Verdict{}
+	}
+	v.memo[v.MemoKey(req)] = verdict
 	v.Log = append(v.Log, LogEntry{
-		Pred: pe.Inst, Use: ue.Inst, Sym: req.UseSym, Verdict: res.Verdict,
+		Pred: v.Orig.At(req.Pred).Inst, Use: v.Orig.At(req.Use).Inst,
+		Sym: req.UseSym, Verdict: verdict,
 	})
-	return res.Verdict
+	return verdict
+}
+
+// Clone returns a Verifier sharing v's immutable configuration (program,
+// input, original trace, thresholds, runner) but with fresh counters, log
+// and memo. Clones are how concurrent schedulers call VerifyDetailed from
+// worker goroutines without racing on v's mutable state; the original
+// trace itself must have its lazy indexes pre-built (trace.Ancestry)
+// before clones run concurrently.
+func (v *Verifier) Clone() *Verifier {
+	return &Verifier{
+		C: v.C, Input: v.Input, Orig: v.Orig,
+		WrongOut: v.WrongOut, Vexp: v.Vexp, HasVexp: v.HasVexp,
+		BudgetFactor: v.BudgetFactor, PathMode: v.PathMode, Runner: v.Runner,
+	}
+}
+
+// RunSwitched performs the switched re-execution underlying one
+// verification: run c on input with pred's branch outcome inverted, with
+// full tracing, bounded by budget steps. Exported so scheduling layers
+// can perform (and cache) the expensive part of VerifyDetailed.
+func RunSwitched(c *interp.Compiled, input []int64, pred trace.Instance, budget int) *interp.Result {
+	return interp.Run(c, interp.Options{
+		Input:      input,
+		BuildTrace: true,
+		Switch:     &interp.SwitchPlan{Stmt: pred.Stmt, Occ: pred.Occ},
+		StepBudget: budget,
+	})
+}
+
+// switchedRun obtains the switched run through the Runner seam.
+func (v *Verifier) switchedRun(pred trace.Instance, budget int) *interp.Result {
+	if v.Runner != nil {
+		return v.Runner.SwitchedRun(pred, budget)
+	}
+	return RunSwitched(v.C, v.Input, pred, budget)
 }
 
 // VerifyDetailed is Verify without memoization, returning evidence.
@@ -158,12 +249,7 @@ func (v *Verifier) VerifyDetailed(req Request) *Result {
 	}
 	budget := factor*v.Orig.Len() + 1000
 
-	sw := interp.Run(v.C, interp.Options{
-		Input:      v.Input,
-		BuildTrace: true,
-		Switch:     &interp.SwitchPlan{Stmt: pe.Inst.Stmt, Occ: pe.Inst.Occ},
-		StepBudget: budget,
-	})
+	sw := v.switchedRun(pe.Inst, budget)
 	res.Switched = sw
 	if errors.Is(sw.Err, interp.ErrBudget) {
 		// Timer expired: "we aggressively conclude the verification fails".

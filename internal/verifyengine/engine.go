@@ -1,0 +1,260 @@
+// Package verifyengine schedules implicit-dependence verifications — the
+// hot path of the demand-driven locator (Algorithm 2 of the PLDI 2007
+// paper). Every candidate potential dependence costs one switched
+// re-execution of the whole program plus region alignment; the paper's
+// per-run "verification timer" exists because this dominates wall clock.
+//
+// The engine attacks that cost on two axes without changing observable
+// results:
+//
+//   - Parallelism: VerifyBatch fans a batch of verification requests out
+//     across a bounded worker pool (GOMAXPROCS-sized by default). Each
+//     worker owns a Clone of the base implicit.Verifier, so no verifier
+//     state is shared; results are then absorbed into the base verifier
+//     in request order, which keeps the Verifications counter, the
+//     VerifyLog order and the verdict memo byte-identical to what a
+//     sequential loop would have produced.
+//   - Memoization: switched re-executions are pure functions of
+//     (program, input, switched predicate instance, budget), so they are
+//     cached in an LRU RunCache keyed exactly by that tuple. Verifying
+//     many uses against the same predicate — the sibling-use pass of
+//     Fig. 5, and re-ranked candidates across PruneSlicing iterations —
+//     reuses one interpreter run instead of re-executing per use.
+//
+// Determinism: the interpreter is deterministic, alignment is a pure
+// function of the two traces, and absorption happens sequentially in
+// request order. Worker scheduling therefore cannot change any verdict,
+// counter or log entry — only wall-clock time. See
+// docs/VERIFICATION_ENGINE.md for the architecture tour and tuning guide.
+package verifyengine
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"eol/internal/implicit"
+	"eol/internal/interp"
+	"eol/internal/trace"
+)
+
+// Config sizes one Engine.
+type Config struct {
+	// Workers is the verification worker-pool size; <= 0 means
+	// GOMAXPROCS. 1 degenerates to the sequential inline path.
+	Workers int
+	// CacheSize bounds the switched-run cache: 0 means DefaultCacheSize,
+	// negative disables caching entirely.
+	CacheSize int
+	// Cache, if non-nil, is used instead of building a private cache —
+	// the sharing point for serving many localizations of the same
+	// program/input family from one store. Overrides CacheSize.
+	Cache *RunCache
+}
+
+// Stats reports what one engine did. Cache* counters are per-engine
+// (this run's hits and misses), except CacheEvictions which is read from
+// the underlying cache and is global when the cache is shared.
+type Stats struct {
+	Workers int
+	// Batches and Batched count VerifyBatch calls and the requests they
+	// carried.
+	Batches, Batched int64
+	// Runs counts switched re-executions actually performed.
+	Runs int64
+	// CacheHits / CacheMisses count switched-run lookups served from /
+	// missing the cache. Hits are re-executions avoided.
+	CacheHits, CacheMisses int64
+	CacheEvictions         int64
+}
+
+// HitRate returns the switched-run cache hit rate in [0, 1].
+func (s Stats) HitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
+// Engine is a concurrent verification scheduler bound to one base
+// implicit.Verifier (one failing execution). It implements
+// implicit.SwitchedRunner, so the verifier's re-executions flow through
+// the engine's cache even for direct Verify calls outside a batch.
+//
+// VerifyBatch must be called from one goroutine at a time (the locator's
+// loop); the engine's internals — workers, cache, runner — handle their
+// own synchronization.
+type Engine struct {
+	base    *implicit.Verifier
+	clones  []*implicit.Verifier
+	workers int
+	cache   *RunCache
+
+	progHash  uint64
+	inputHash uint64
+
+	batches, batched int64
+	runs             atomic.Int64
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+}
+
+// New builds an engine over base and installs itself as base's Runner.
+// The base verifier's original trace gets its lazy ancestry index built
+// here, before any worker can race on it.
+func New(base *implicit.Verifier, cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{base: base, workers: w}
+	switch {
+	case cfg.Cache != nil:
+		e.cache = cfg.Cache
+	case cfg.CacheSize >= 0:
+		e.cache = NewRunCache(cfg.CacheSize)
+	}
+	e.progHash = hashString(base.C.Src)
+	e.inputHash = hashInts(base.Input)
+	if base.Orig != nil {
+		base.Orig.Ancestry()
+	}
+	base.Runner = e
+	e.clones = make([]*implicit.Verifier, w)
+	for i := range e.clones {
+		e.clones[i] = base.Clone()
+	}
+	return e
+}
+
+// SwitchedRun implements implicit.SwitchedRunner: one switched
+// re-execution, served from the cache when possible. Cached traces are
+// published with their ancestry index pre-built so concurrent alignment
+// against them is read-only.
+func (e *Engine) SwitchedRun(pred trace.Instance, budget int) *interp.Result {
+	if e.cache == nil {
+		e.runs.Add(1)
+		return implicit.RunSwitched(e.base.C, e.base.Input, pred, budget)
+	}
+	key := RunKey{Prog: e.progHash, Input: e.inputHash, Pred: pred, Budget: budget}
+	res, hit := e.cache.GetOrRun(key, func() *interp.Result {
+		e.runs.Add(1)
+		r := implicit.RunSwitched(e.base.C, e.base.Input, pred, budget)
+		if r.Trace != nil {
+			r.Trace.Ancestry()
+		}
+		return r
+	})
+	if hit {
+		e.cacheHits.Add(1)
+	} else {
+		e.cacheMisses.Add(1)
+	}
+	return res
+}
+
+// VerifyBatch verifies reqs and returns their verdicts in request order.
+// The expensive part — switched re-execution plus alignment — runs on
+// the worker pool, deduplicated per memo key and per switched predicate;
+// the results are then absorbed into the base verifier sequentially in
+// request order, so its log, counters and memo evolve exactly as if the
+// requests had been verified one by one.
+func (e *Engine) VerifyBatch(reqs []implicit.Request) []implicit.Verdict {
+	verdicts := make([]implicit.Verdict, len(reqs))
+	if len(reqs) == 0 {
+		return verdicts
+	}
+	e.batches++
+	e.batched += int64(len(reqs))
+
+	// Plan: one job per distinct not-yet-memoized key, at its first
+	// occurrence; duplicates resolve through the memo during absorption.
+	results := make([]*implicit.Result, len(reqs))
+	seen := map[implicit.MemoKey]bool{}
+	var jobs []int
+	for i, req := range reqs {
+		if _, ok := e.base.Memoized(req); ok {
+			continue
+		}
+		key := e.base.MemoKey(req)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		jobs = append(jobs, i)
+	}
+
+	if n := len(jobs); n > 1 && e.workers > 1 {
+		w := e.workers
+		if w > n {
+			w = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func(cl *implicit.Verifier) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[jobs[i]] = cl.VerifyDetailed(reqs[jobs[i]])
+				}
+			}(e.clones[k])
+		}
+		wg.Wait()
+	} else {
+		for _, idx := range jobs {
+			results[idx] = e.clones[0].VerifyDetailed(reqs[idx])
+		}
+	}
+
+	for i, req := range reqs {
+		switch {
+		case results[i] != nil:
+			verdicts[i] = e.base.Absorb(req, results[i])
+		default:
+			// Memoized before the batch, or a duplicate absorbed at its
+			// first occurrence above; Verify resolves it from the memo
+			// (and, failing that, verifies inline as a safety net).
+			verdicts[i] = e.base.Verify(req)
+		}
+	}
+	return verdicts
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers: e.workers,
+		Batches: e.batches, Batched: e.batched,
+		Runs:      e.runs.Load(),
+		CacheHits: e.cacheHits.Load(), CacheMisses: e.cacheMisses.Load(),
+	}
+	if e.cache != nil {
+		s.CacheEvictions = e.cache.Stats().Evictions
+	}
+	return s
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func hashInts(vs []int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vs {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,234 @@
+package verifyengine
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"eol/internal/implicit"
+	"eol/internal/interp"
+	"eol/internal/slicing"
+	"eol/internal/trace"
+)
+
+// fixture builds a verifier over a failing run of a program with several
+// verifiable potential dependences: the guarded writes are omitted, so
+// every later use potentially depends on the same predicate instance.
+func fixture(t *testing.T) (*implicit.Verifier, []implicit.Request) {
+	t.Helper()
+	src := `
+func main() {
+    var cond = read() * 0;   // ROOT CAUSE: should be read()
+    var a = 1;
+    var b = 1;
+    var c = 1;
+    if (cond) {
+        a = 2;
+        b = 2;
+        c = 2;
+    }
+    print(a);
+    print(b);
+    print(c);
+}`
+	c, err := interp.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []int64{1}
+	run := interp.Run(c, interp.Options{Input: input, BuildTrace: true})
+	if run.Err != nil {
+		t.Fatal(run.Err)
+	}
+	seq, _, ok := slicing.FirstWrongOutput(run.OutputValues(), []int64{2, 2, 2})
+	if !ok {
+		t.Fatal("no failure")
+	}
+	wrong := *run.Trace.OutputAt(seq)
+	v := &implicit.Verifier{
+		C: c, Input: input, Orig: run.Trace,
+		WrongOut: wrong, Vexp: 2, HasVexp: true,
+	}
+	cx := slicing.NewContext(c, run.Trace)
+	var reqs []implicit.Request
+	for _, out := range []int{0, 1, 2} {
+		u := run.Trace.OutputAt(out).Entry
+		for _, pd := range cx.PotentialDeps(u) {
+			reqs = append(reqs, implicit.Request{
+				Pred: pd.Pred, Use: u, UseSym: pd.UseSym, UseElem: pd.UseElem,
+			})
+		}
+	}
+	if len(reqs) < 3 {
+		t.Fatalf("fixture produced only %d requests", len(reqs))
+	}
+	return v, reqs
+}
+
+// sequentialBaseline verifies reqs one by one on a fresh engine-free
+// verifier and returns its observable state.
+func sequentialBaseline(t *testing.T, reqs []implicit.Request) ([]implicit.Verdict, *implicit.Verifier) {
+	t.Helper()
+	v, _ := fixture(t)
+	var verdicts []implicit.Verdict
+	for _, r := range reqs {
+		verdicts = append(verdicts, v.Verify(r))
+	}
+	return verdicts, v
+}
+
+// TestBatchMatchesSequential: for every worker count and cache setting,
+// VerifyBatch must produce the sequential path's verdicts, log order and
+// verification count.
+func TestBatchMatchesSequential(t *testing.T) {
+	_, reqs := fixture(t)
+	wantVerdicts, wantV := sequentialBaseline(t, reqs)
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, cacheSize := range []int{-1, 0, 1} {
+			name := fmt.Sprintf("workers=%d/cache=%d", workers, cacheSize)
+			t.Run(name, func(t *testing.T) {
+				base, reqs := fixture(t)
+				e := New(base, Config{Workers: workers, CacheSize: cacheSize})
+				got := e.VerifyBatch(reqs)
+				if !reflect.DeepEqual(got, wantVerdicts) {
+					t.Errorf("verdicts = %v, want %v", got, wantVerdicts)
+				}
+				if base.Verifications != wantV.Verifications {
+					t.Errorf("Verifications = %d, want %d", base.Verifications, wantV.Verifications)
+				}
+				if !reflect.DeepEqual(base.Log, wantV.Log) {
+					t.Errorf("Log = %v, want %v", base.Log, wantV.Log)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchDeduplicates: duplicate requests in one batch are verified
+// once, like repeated Verify calls.
+func TestBatchDeduplicates(t *testing.T) {
+	base, reqs := fixture(t)
+	e := New(base, Config{Workers: 4})
+	doubled := append(append([]implicit.Request{}, reqs...), reqs...)
+	got := e.VerifyBatch(doubled)
+	for i := range reqs {
+		if got[i] != got[i+len(reqs)] {
+			t.Errorf("req %d: duplicate verdict %v != %v", i, got[i], got[i+len(reqs)])
+		}
+	}
+	if base.Verifications != len(base.Log) {
+		t.Errorf("Verifications %d != logged %d", base.Verifications, len(base.Log))
+	}
+	if base.Verifications > len(reqs) {
+		t.Errorf("duplicates re-verified: %d verifications for %d unique requests",
+			base.Verifications, len(reqs))
+	}
+}
+
+// TestRunCacheSharesExecutions: all requests hit the same switched
+// predicate, so the cached engine must execute once per distinct
+// predicate instance and serve the rest from the cache.
+func TestRunCacheSharesExecutions(t *testing.T) {
+	base, reqs := fixture(t)
+	e := New(base, Config{Workers: 1, CacheSize: 0})
+	e.VerifyBatch(reqs)
+	s := e.Stats()
+	preds := map[int]bool{}
+	for _, r := range reqs {
+		preds[r.Pred] = true
+	}
+	if s.Runs != int64(len(preds)) {
+		t.Errorf("Runs = %d, want %d (one per distinct predicate)", s.Runs, len(preds))
+	}
+	if s.CacheHits == 0 {
+		t.Error("expected cache hits across uses of the same predicate")
+	}
+	if got := s.CacheHits + s.CacheMisses; got != int64(base.Verifications) {
+		t.Errorf("lookups %d != verifications %d", got, base.Verifications)
+	}
+}
+
+// TestSecondEngineHitsSharedCache: a shared RunCache serves a second
+// localization of the same program/input without re-executing.
+func TestSecondEngineHitsSharedCache(t *testing.T) {
+	cache := NewRunCache(0)
+	base1, reqs1 := fixture(t)
+	e1 := New(base1, Config{Workers: 2, Cache: cache})
+	e1.VerifyBatch(reqs1)
+	runsAfterFirst := e1.Stats().Runs
+
+	base2, reqs2 := fixture(t)
+	e2 := New(base2, Config{Workers: 2, Cache: cache})
+	e2.VerifyBatch(reqs2)
+	if got := e2.Stats().Runs; got != 0 {
+		t.Errorf("second engine performed %d runs, want 0 (cache shared)", got)
+	}
+	if runsAfterFirst == 0 {
+		t.Error("first engine should have executed at least once")
+	}
+}
+
+// TestRunCacheLRU: capacity 2 evicts the least recently used entry and
+// counts it.
+func TestRunCacheLRU(t *testing.T) {
+	c := NewRunCache(2)
+	mk := func(i int) RunKey { return RunKey{Pred: trace.Instance{Stmt: i, Occ: 1}} }
+	run := func() *interp.Result { return &interp.Result{} }
+
+	c.GetOrRun(mk(1), run)
+	c.GetOrRun(mk(2), run)
+	c.GetOrRun(mk(1), run) // touch 1: now 2 is LRU
+	c.GetOrRun(mk(3), run) // evicts 2
+	if _, hit := c.GetOrRun(mk(1), run); !hit {
+		t.Error("entry 1 should have survived (recently used)")
+	}
+	if _, hit := c.GetOrRun(mk(2), run); hit {
+		t.Error("entry 2 should have been evicted")
+	}
+	s := c.Stats()
+	if s.Evictions < 1 {
+		t.Errorf("evictions = %d, want >= 1", s.Evictions)
+	}
+	if s.Len > 2 {
+		t.Errorf("len = %d, want <= cap 2", s.Len)
+	}
+}
+
+// TestRunCacheSingleFlight: concurrent misses on one key execute once.
+func TestRunCacheSingleFlight(t *testing.T) {
+	c := NewRunCache(0)
+	var mu sync.Mutex
+	runs := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.GetOrRun(RunKey{Pred: trace.Instance{Stmt: 7, Occ: 1}}, func() *interp.Result {
+				mu.Lock()
+				runs++
+				mu.Unlock()
+				return &interp.Result{}
+			})
+		}()
+	}
+	wg.Wait()
+	if runs != 1 {
+		t.Errorf("run executed %d times, want 1", runs)
+	}
+	if s := c.Stats(); s.Hits != 15 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 15 hits / 1 miss", s)
+	}
+}
+
+// TestHitRate sanity-checks the Stats helper.
+func TestHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Errorf("empty hit rate = %v", r)
+	}
+	if r := (Stats{CacheHits: 3, CacheMisses: 1}).HitRate(); r != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", r)
+	}
+}
