@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench verify-table
+.PHONY: all build test race vet lint bench verify-table
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Lint lane: Go-level vet plus the MiniC static checker suite over the
+# checked-in subjects (testdata/lint/ holds known-bad fixtures and is
+# deliberately excluded).
+lint: vet
+	$(GO) run ./cmd/eolvet testdata/*.mc
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 10x .

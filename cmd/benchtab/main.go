@@ -59,6 +59,6 @@ func main() {
 		}
 		fmt.Print(out)
 	default:
-		cliutil.Fatalf("usage: benchtab -table 1|2|3|4|all | -ablation A|B|C|D | -cases")
+		cliutil.Usagef("usage: benchtab -table 1|2|3|4|all | -ablation A|B|C|D | -cases")
 	}
 }

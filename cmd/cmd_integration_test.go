@@ -4,6 +4,7 @@
 package cmd_test
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -34,7 +35,7 @@ func bin(t *testing.T, name string) string {
 			buildErr = err
 			return
 		}
-		for _, tool := range []string{"minic", "slicer", "eoloc", "benchtab"} {
+		for _, tool := range []string{"minic", "slicer", "eoloc", "benchtab", "eolvet"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
 			cmd.Dir = repoRoot
 			if out, err := cmd.CombinedOutput(); err != nil {
@@ -56,6 +57,22 @@ func runTool(t *testing.T, name string, args ...string) (string, error) {
 	cmd.Dir = repoRoot
 	out, err := cmd.CombinedOutput()
 	return string(out), err
+}
+
+// runExit runs a tool and returns its combined output and exit code.
+func runExit(t *testing.T, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin(t, name), args...)
+	cmd.Dir = repoRoot
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("%s %v: %v", name, args, err)
+	}
+	return string(out), ee.ExitCode()
 }
 
 func TestMinicRun(t *testing.T) {
@@ -303,6 +320,87 @@ func TestMinicCFGDot(t *testing.T) {
 	}
 	if out, err := runTool(t, "minic", "-cfgdot", "nosuchfn", "testdata/fig1_faulty.mc"); err == nil {
 		t.Errorf("unknown function accepted:\n%s", out)
+	}
+}
+
+// TestExitCodes pins the exit-code contract across the tools: 0 for
+// success, 1 for operational failures (missing files, compile errors,
+// runtime faults, lint findings), 2 for command-line misuse.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		tool string
+		args []string
+		want int
+	}{
+		{"minic ok", "minic", []string{"-input", "1", "testdata/fig1_faulty.mc"}, 0},
+		{"minic no args", "minic", nil, 2},
+		{"minic conflicting inputs", "minic", []string{"-input", "1", "-text", "a", "testdata/fig1_faulty.mc"}, 2},
+		{"minic bad -switch", "minic", []string{"-switch", "zz", "testdata/fig1_faulty.mc"}, 2},
+		{"minic unknown -cfgdot func", "minic", []string{"-cfgdot", "nosuchfn", "testdata/fig1_faulty.mc"}, 2},
+		{"minic missing file", "minic", []string{"nosuchfile.mc"}, 1},
+		{"slicer missing -correct", "slicer", []string{"testdata/fig1_faulty.mc"}, 2},
+		{"slicer bad slice kind", "slicer", []string{"-correct", "testdata/fig1_fixed.mc", "-input", "1", "-slices", "zz", "testdata/fig1_faulty.mc"}, 2},
+		{"slicer missing file", "slicer", []string{"-correct", "testdata/fig1_fixed.mc", "nosuchfile.mc"}, 1},
+		{"eoloc missing -correct", "eoloc", []string{"testdata/fig1_faulty.mc"}, 2},
+		{"eoloc bad -root", "eoloc", []string{"-correct", "testdata/fig1_fixed.mc", "-input", "1", "-root", "nosuchfragment", "testdata/fig1_faulty.mc"}, 2},
+		{"benchtab no mode", "benchtab", nil, 2},
+		{"eolvet ok", "eolvet", []string{"testdata/fig1_fixed.mc"}, 0},
+		{"eolvet findings", "eolvet", []string{"testdata/lint/eol0003.mc"}, 1},
+		{"eolvet missing file", "eolvet", []string{"nosuchfile.mc"}, 1},
+		{"eolvet no args", "eolvet", nil, 2},
+		{"eolvet unknown check", "eolvet", []string{"-checks", "nosuchcheck", "testdata/fig1_fixed.mc"}, 2},
+		{"eolvet bad -min", "eolvet", []string{"-min", "loud", "testdata/fig1_fixed.mc"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := runExit(t, tc.tool, tc.args...)
+			if code != tc.want {
+				t.Errorf("exit code = %d, want %d\n%s", code, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestEolvetLintFixtures runs eolvet over each known-bad fixture in
+// testdata/lint and compares against its golden output; each fixture
+// must flag its own code (eol000N.mc -> EOL000N) and exit 1.
+func TestEolvetLintFixtures(t *testing.T) {
+	bin(t, "eolvet") // sets repoRoot
+	fixtures, err := filepath.Glob(filepath.Join(repoRoot, "testdata", "lint", "*.mc"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no lint fixtures: %v", err)
+	}
+	for _, fix := range fixtures {
+		rel, _ := filepath.Rel(repoRoot, fix)
+		t.Run(filepath.Base(fix), func(t *testing.T) {
+			out, code := runExit(t, "eolvet", rel)
+			if code != 1 {
+				t.Errorf("exit code = %d, want 1", code)
+			}
+			want := "EOL" + strings.TrimSuffix(strings.TrimPrefix(filepath.Base(fix), "eol"), ".mc")
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %s:\n%s", want, out)
+			}
+			golden, err := os.ReadFile(strings.TrimSuffix(fix, ".mc") + ".golden")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != string(golden) {
+				t.Errorf("output differs from golden:\n got: %s\nwant: %s", out, golden)
+			}
+		})
+	}
+}
+
+// TestMinicVet checks the -vet convenience entry point.
+func TestMinicVet(t *testing.T) {
+	if out, code := runExit(t, "minic", "-vet", "testdata/fig1_faulty.mc"); code != 0 {
+		t.Errorf("fig1_faulty: exit %d, want 0 (clean):\n%s", code, out)
+	}
+	out, code := runExit(t, "minic", "-vet", "testdata/lint/eol0007.mc")
+	if code != 1 || !strings.Contains(out, "EOL0007") {
+		t.Errorf("lint fixture: exit %d, output:\n%s", code, out)
 	}
 }
 

@@ -38,11 +38,11 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 || *correctFlag == "" {
-		cliutil.Fatalf("usage: critpred -correct correct.mc [flags] faulty.mc (see -h)")
+		cliutil.Usagef("usage: critpred -correct correct.mc [flags] faulty.mc (see -h)")
 	}
 	input, err := cliutil.Input(*inputFlag, *textFlag)
 	if err != nil {
-		cliutil.Fatalf("critpred: %v", err)
+		cliutil.Usagef("critpred: %v", err)
 	}
 
 	faulty := mustCompile(flag.Arg(0))
@@ -60,7 +60,7 @@ func main() {
 	case "prior":
 		strategy = critpred.Prior
 	default:
-		cliutil.Fatalf("critpred: unknown strategy %q", *strategyFlag)
+		cliutil.Usagef("critpred: unknown strategy %q", *strategyFlag)
 	}
 
 	res := critpred.Search(faulty, input, expRun.OutputValues(), critpred.Options{

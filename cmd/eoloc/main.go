@@ -50,11 +50,11 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 || *correctFlag == "" {
-		cliutil.Fatalf("usage: eoloc -correct correct.mc [flags] faulty.mc (see -h)")
+		cliutil.Usagef("usage: eoloc -correct correct.mc [flags] faulty.mc (see -h)")
 	}
 	input, err := cliutil.Input(*inputFlag, *textFlag)
 	if err != nil {
-		cliutil.Fatalf("eoloc: %v", err)
+		cliutil.Usagef("eoloc: %v", err)
 	}
 
 	faulty := mustCompile(flag.Arg(0))
@@ -82,7 +82,7 @@ func main() {
 			}
 		}
 		if len(spec.RootCause) == 0 {
-			cliutil.Fatalf("eoloc: no statement matches -root %q", *rootFlag)
+			cliutil.Usagef("eoloc: no statement matches -root %q", *rootFlag)
 		}
 	}
 
@@ -91,7 +91,7 @@ func main() {
 		for _, part := range strings.Split(*profileFlag, ";") {
 			in, err := cliutil.ParseInts(part)
 			if err != nil {
-				cliutil.Fatalf("eoloc: -profile: %v", err)
+				cliutil.Usagef("eoloc: -profile: %v", err)
 			}
 			r := interp.Run(faulty, interp.Options{Input: in, BuildTrace: true})
 			if r.Err != nil {

@@ -47,11 +47,11 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		cliutil.Fatalf("usage: eolshell [-correct correct.mc | -expected \"8,8\"] -input ... faulty.mc")
+		cliutil.Usagef("usage: eolshell [-correct correct.mc | -expected \"8,8\"] -input ... faulty.mc")
 	}
 	input, err := cliutil.Input(*inputFlag, *textFlag)
 	if err != nil {
-		cliutil.Fatalf("eolshell: %v", err)
+		cliutil.Usagef("eolshell: %v", err)
 	}
 	src, err := cliutil.LoadSource(flag.Arg(0))
 	if err != nil {
@@ -67,7 +67,7 @@ func main() {
 	case *expectedFlag != "":
 		expected, err = cliutil.ParseInts(*expectedFlag)
 		if err != nil {
-			cliutil.Fatalf("eolshell: -expected: %v", err)
+			cliutil.Usagef("eolshell: -expected: %v", err)
 		}
 	case *correctFlag != "":
 		csrc, err := cliutil.LoadSource(*correctFlag)
@@ -84,7 +84,7 @@ func main() {
 		}
 		expected = r.OutputValues()
 	default:
-		cliutil.Fatalf("eolshell: need -correct or -expected")
+		cliutil.Usagef("eolshell: need -correct or -expected")
 	}
 
 	sh, err := newShell(faulty, input, expected)

@@ -1,0 +1,107 @@
+// Command eolvet runs the static checker suite (internal/check) over
+// MiniC programs — the lint lane that keeps benchmark subjects and
+// seeded faults trustworthy.
+//
+// Usage:
+//
+//	eolvet [flags] program.mc [more.mc ...]
+//
+//	-checks "dead-store,EOL0003"  run only the named analyzers
+//	-min info|warning|error       minimum severity to report (default info)
+//	-list                         print the analyzer catalog and exit
+//
+// Diagnostics print one per line as pos: severity: code: message,
+// prefixed with the file name when more than one file is given.
+//
+// Exit status: 0 if every program is clean, 1 if any diagnostic was
+// reported or a program failed to compile, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eol/internal/check"
+	"eol/internal/cliutil"
+)
+
+func main() {
+	checksFlag := flag.String("checks", "", "comma-separated analyzer names or codes (default: all)")
+	minFlag := flag.String("min", "info", "minimum severity to report: info, warning or error")
+	listFlag := flag.Bool("list", false, "print the analyzer catalog and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range check.Analyzers() {
+			fmt.Printf("%s %-24s %-7s %s\n", a.Code, a.Name, a.Severity, firstLine(a.Doc))
+		}
+		return
+	}
+
+	var min check.Severity
+	switch *minFlag {
+	case "info":
+		min = check.Info
+	case "warning":
+		min = check.Warning
+	case "error":
+		min = check.Error
+	default:
+		cliutil.Usagef("eolvet: bad -min %q (want info, warning or error)", *minFlag)
+	}
+
+	analyzers := check.Analyzers()
+	if *checksFlag != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*checksFlag, ",") {
+			a := check.ByName(strings.TrimSpace(name))
+			if a == nil {
+				cliutil.Usagef("eolvet: unknown analyzer %q (see -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	if flag.NArg() == 0 {
+		cliutil.Usagef("usage: eolvet [flags] program.mc [more.mc ...] (see -h)")
+	}
+
+	dirty := false
+	prefix := ""
+	for _, path := range flag.Args() {
+		if flag.NArg() > 1 {
+			prefix = path + ": "
+		}
+		src, err := cliutil.LoadSource(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eolvet: %v\n", err)
+			dirty = true
+			continue
+		}
+		u, err := check.Load(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eolvet: %s: %v\n", path, err)
+			dirty = true
+			continue
+		}
+		for _, d := range check.RunAnalyzers(u, analyzers) {
+			if d.Severity < min {
+				continue
+			}
+			fmt.Printf("%s%s\n", prefix, d)
+			dirty = true
+		}
+	}
+	if dirty {
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

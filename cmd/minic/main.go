@@ -8,6 +8,8 @@
 //	-input "1,2,3"   integer input stream
 //	-text "abc"      input as the bytes of a string
 //	-list            print the numbered statement listing and exit
+//	-vet             run the static checker suite and exit (exit 1 if
+//	                 any diagnostic fires; see eolvet for the full CLI)
 //	-trace           print the execution trace (instances, parents, deps)
 //	-switch S:K      invert the K-th instance of predicate statement S
 //	-perturb S:K:V   override the value defined by the K-th instance of
@@ -29,6 +31,7 @@ import (
 	"os"
 	"strings"
 
+	"eol/internal/check"
 	"eol/internal/cliutil"
 	"eol/internal/interp"
 	"eol/internal/lang/ast"
@@ -39,6 +42,7 @@ func main() {
 	inputFlag := flag.String("input", "", "comma-separated integer input")
 	textFlag := flag.String("text", "", "input as the bytes of a string")
 	listFlag := flag.Bool("list", false, "print numbered statement listing and exit")
+	vetFlag := flag.Bool("vet", false, "run the static checker suite and exit")
 	traceFlag := flag.Bool("trace", false, "print the execution trace")
 	switchFlag := flag.String("switch", "", "invert predicate instance S:K")
 	perturbFlag := flag.String("perturb", "", "override defined value S:K:V")
@@ -48,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		cliutil.Fatalf("usage: minic [flags] program.mc (see -h)")
+		cliutil.Usagef("usage: minic [flags] program.mc (see -h)")
 	}
 	src, err := cliutil.LoadSource(flag.Arg(0))
 	if err != nil {
@@ -65,10 +69,20 @@ func main() {
 		}
 		return
 	}
+	if *vetFlag {
+		diags := check.Vet(check.NewUnit(c, nil))
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *cfgFlag != "" {
 		g, ok := c.CFG.Funcs[*cfgFlag]
 		if !ok {
-			cliutil.Fatalf("minic: no function %q", *cfgFlag)
+			cliutil.Usagef("minic: no function %q", *cfgFlag)
 		}
 		if err := g.WriteDOT(os.Stdout, true); err != nil {
 			cliutil.Fatalf("minic: %v", err)
@@ -78,7 +92,7 @@ func main() {
 
 	input, err := cliutil.Input(*inputFlag, *textFlag)
 	if err != nil {
-		cliutil.Fatalf("minic: %v", err)
+		cliutil.Usagef("minic: %v", err)
 	}
 
 	opts := interp.Options{
@@ -89,7 +103,7 @@ func main() {
 	if *switchFlag != "" {
 		var s, k int
 		if _, err := fmt.Sscanf(*switchFlag, "%d:%d", &s, &k); err != nil {
-			cliutil.Fatalf("minic: bad -switch %q (want S:K)", *switchFlag)
+			cliutil.Usagef("minic: bad -switch %q (want S:K)", *switchFlag)
 		}
 		opts.Switch = &interp.SwitchPlan{Stmt: s, Occ: k}
 		opts.BuildTrace = true
@@ -98,7 +112,7 @@ func main() {
 		var s, k int
 		var v int64
 		if _, err := fmt.Sscanf(*perturbFlag, "%d:%d:%d", &s, &k, &v); err != nil {
-			cliutil.Fatalf("minic: bad -perturb %q (want S:K:V)", *perturbFlag)
+			cliutil.Usagef("minic: bad -perturb %q (want S:K:V)", *perturbFlag)
 		}
 		opts.Perturb = &interp.PerturbPlan{Stmt: s, Occ: k, Value: v}
 		opts.BuildTrace = true

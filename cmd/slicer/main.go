@@ -42,11 +42,11 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 || *correctFlag == "" {
-		cliutil.Fatalf("usage: slicer -correct correct.mc [flags] faulty.mc (see -h)")
+		cliutil.Usagef("usage: slicer -correct correct.mc [flags] faulty.mc (see -h)")
 	}
 	input, err := cliutil.Input(*inputFlag, *textFlag)
 	if err != nil {
-		cliutil.Fatalf("slicer: %v", err)
+		cliutil.Usagef("slicer: %v", err)
 	}
 
 	faulty := mustCompile(flag.Arg(0))
@@ -121,7 +121,7 @@ func main() {
 			}
 			printSlice(faulty, run.Trace, "PS (confidence-pruned slice)", g, set, *instFlag)
 		default:
-			cliutil.Fatalf("slicer: unknown slice kind %q", which)
+			cliutil.Usagef("slicer: unknown slice kind %q", which)
 		}
 	}
 }

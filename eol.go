@@ -182,6 +182,7 @@ type Session struct {
 	roots        []int
 	verifyWorker int
 	verifyCache  int
+	noStaticSkip bool
 }
 
 // NewSession runs the program on input, compares against the expected
@@ -405,6 +406,14 @@ func WithVerifyCacheSize(n int) LocateOption {
 	return func(s *Session) { s.verifyCache = n }
 }
 
+// WithoutStaticSkip disables the static skip-filter, which proves some
+// verifications NOT_ID from the failing trace alone and answers them
+// without a switched re-execution. The diagnosis is identical either
+// way; the flag exists for A/B comparison of run counts.
+func WithoutStaticSkip() LocateOption {
+	return func(s *Session) { s.noStaticSkip = true }
+}
+
 type funcOracle struct {
 	p *Program
 	f func(Instance, string) bool
@@ -444,6 +453,9 @@ type Diagnosis struct {
 	// lookups served from the cache instead of re-executing.
 	SwitchedRuns int64
 	CacheHitRate float64
+	// StaticSkips counts verifications answered by the static
+	// skip-filter without any switched re-execution.
+	StaticSkips int64
 
 	program *Program
 }
@@ -488,6 +500,7 @@ func (s *Session) Locate(opts ...LocateOption) (*Diagnosis, error) {
 		CrossFunctionPD: s.crossFn,
 		VerifyWorkers:   s.verifyWorker,
 		VerifyCacheSize: s.verifyCache,
+		NoStaticSkip:    s.noStaticSkip,
 	}
 	rep, err := core.Locate(spec)
 	if err != nil {
@@ -503,6 +516,7 @@ func (s *Session) Locate(opts ...LocateOption) (*Diagnosis, error) {
 		ImplicitEdges: rep.Graph.NumExtraEdges(ddg.Implicit),
 		SwitchedRuns:  rep.VerifyStats.Runs,
 		CacheHitRate:  rep.VerifyStats.HitRate(),
+		StaticSkips:   rep.VerifyStats.StaticSkips,
 		program:       s.p,
 	}
 	if rep.Located {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"eol/internal/check"
 	"eol/internal/confidence"
 	"eol/internal/core"
 	"eol/internal/interp"
@@ -91,6 +92,14 @@ func (c *Case) Prepare() (*Prepared, error) {
 	}
 	if faulty.Info.NumStmts() != correct.Info.NumStmts() {
 		return nil, fmt.Errorf("%s: fault edit changed statement numbering", c.Name())
+	}
+	for _, v := range []struct {
+		which string
+		c     *interp.Compiled
+	}{{"correct", correct}, {"faulty", faulty}} {
+		if diags := check.Vet(check.NewUnit(v.c, nil)); check.HasErrors(diags) {
+			return nil, fmt.Errorf("%s: %s version fails static validation: %v", c.Name(), v.which, diags)
+		}
 	}
 
 	correctRun := interp.Run(correct, interp.Options{Input: c.FailingInput, BuildTrace: true})

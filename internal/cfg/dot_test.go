@@ -1,0 +1,60 @@
+package cfg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteDOTGolden pins the exact DOT rendering — node labels and
+// shapes, branch edge labels, dashed control-dependence edges — so
+// downstream tooling that parses the output (and the -cfgdot CLI) gets
+// a stable format.
+func TestWriteDOTGolden(t *testing.T) {
+	_, p := compile(t, `
+func main() {
+    var x = read();
+    if (x > 0) {
+        print(1);
+    }
+    print(2);
+}`)
+	g := p.Funcs["main"]
+
+	var plain, withCD bytes.Buffer
+	if err := g.WriteDOT(&plain, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteDOT(&withCD, true); err != nil {
+		t.Fatal(err)
+	}
+
+	const golden = `digraph cfg_main {
+  node [fontname="monospace", fontsize=10];
+  n0 [label="ENTRY", shape=ellipse];
+  n1 [label="EXIT", shape=ellipse];
+  n2 [label="S1 var x = read();", shape=box];
+  n3 [label="S2 if (x > 0)", shape=diamond];
+  n4 [label="S3 print(1);", shape=box];
+  n5 [label="S4 print(2);", shape=box];
+  n0 -> n2;
+  n2 -> n3;
+  n3 -> n4 [label="T"];
+  n3 -> n5 [label="F"];
+  n4 -> n5;
+  n5 -> n1;
+}
+`
+	if plain.String() != golden {
+		t.Errorf("plain DOT differs from golden:\n got:\n%s\nwant:\n%s", plain.String(), golden)
+	}
+
+	// The CD overlay adds exactly one dashed edge: print(1) is control
+	// dependent on the if.
+	const cdEdge = `  n4 -> n3 [style=dashed, color=gray, label="cd/T"];`
+	if !bytes.Contains(withCD.Bytes(), []byte(cdEdge)) {
+		t.Errorf("withCD DOT missing %q:\n%s", cdEdge, withCD.String())
+	}
+	if !bytes.HasPrefix(withCD.Bytes(), []byte(golden[:len(golden)-2])) {
+		t.Errorf("withCD DOT does not extend the plain rendering:\n%s", withCD.String())
+	}
+}

@@ -1,0 +1,153 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"eol/internal/bench"
+	"eol/internal/check"
+)
+
+// vet loads src and runs the full suite.
+func vet(t *testing.T, src string) []check.Diagnostic {
+	t.Helper()
+	u, err := check.Load(src)
+	if err != nil {
+		t.Fatalf("Load: %v\n%s", err, src)
+	}
+	return check.Vet(u)
+}
+
+// codes extracts the diagnostic codes in order.
+func codes(diags []check.Diagnostic) []string {
+	var cs []string
+	for _, d := range diags {
+		cs = append(cs, d.Code)
+	}
+	return cs
+}
+
+func hasCode(diags []check.Diagnostic, code string) bool {
+	for _, d := range diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAnalyzerTriggers runs each pass's minimal triggering program (the
+// same programs docs/STATIC_CHECKS.md catalogs) and checks that exactly
+// the expected code fires, with the expected severity.
+func TestAnalyzerTriggers(t *testing.T) {
+	cases := []struct {
+		code     string
+		severity check.Severity
+		src      string
+		// extra codes the trigger unavoidably also produces
+		also []string
+	}{
+		{"EOL0001", check.Warning, `
+func main() {
+	var x;
+	if (read() > 0) { x = 1; }
+	print(x);
+}`, nil},
+		{"EOL0002", check.Warning, `
+func main() {
+	var x = read();
+	x = 2;
+	x = 3;
+	print(x);
+}`, nil},
+		{"EOL0003", check.Error, `
+func f() {
+	return 1;
+	print(2);
+}
+func main() {
+	print(f());
+}`, nil},
+		{"EOL0004", check.Warning, `
+func main() {
+	if (2 > 1) {
+		print(read());
+	}
+}`, nil},
+		{"EOL0005", check.Warning, `
+func main() {
+	var unused = 3;
+	print(read());
+}`, nil},
+		{"EOL0006", check.Warning, `
+func f(x) {
+	if (x > 0) { return 1; }
+}
+func main() {
+	print(f(read()));
+}`, nil},
+		{"EOL0007", check.Error, `
+var a[4];
+func main() {
+	a[7] = read();
+	print(a[0]);
+}`, nil},
+		{"EOL0008", check.Info, `
+func main() {
+	var t = 0;
+	if (read() > 0) { t = 1; }
+	print(read());
+}`, []string{"EOL0002", "EOL0005"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.code, func(t *testing.T) {
+			diags := vet(t, tc.src)
+			if !hasCode(diags, tc.code) {
+				t.Fatalf("expected %s, got %v", tc.code, diags)
+			}
+			allowed := map[string]bool{tc.code: true}
+			for _, c := range tc.also {
+				allowed[c] = true
+			}
+			for _, d := range diags {
+				if !allowed[d.Code] {
+					t.Errorf("unexpected extra diagnostic: %v", d)
+				}
+				if d.Code == tc.code && d.Severity != tc.severity {
+					t.Errorf("%s severity %v, want %v", tc.code, d.Severity, tc.severity)
+				}
+			}
+		})
+	}
+}
+
+// TestCleanCorpus: the benchmark corpus — both correct and faulty
+// versions of every case — must be diagnostic-free at every severity, so
+// harness validation and the lint lane never fight the subjects the
+// paper's tables are built on.
+func TestCleanCorpus(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range bench.Cases() {
+		if !seen[c.Program] {
+			seen[c.Program] = true
+			if diags := vet(t, c.CorrectSrc); len(diags) > 0 {
+				t.Errorf("%s (correct): %d diagnostics:\n%s", c.Program, len(diags), render(diags))
+			}
+		}
+		src, err := c.FaultySrc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diags := vet(t, src); len(diags) > 0 {
+			t.Errorf("%s (faulty): %d diagnostics:\n%s", c.Name(), len(diags), render(diags))
+		}
+	}
+}
+
+func render(diags []check.Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString("  " + d.String() + "\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,408 @@
+// The built-in analyzer suite: eight passes over the shared Unit, each
+// with a stable EOLnnnn diagnostic code. docs/STATIC_CHECKS.md catalogs
+// them with one minimal triggering program per code.
+package check
+
+import (
+	"eol/internal/cfg"
+	"eol/internal/lang/ast"
+	"eol/internal/lang/sem"
+	"eol/internal/lang/token"
+)
+
+// UninitRead (EOL0001) flags reads of scalar locals that a
+// definition-free path can reach: the declaration carries no initializer
+// and no assignment dominates the read. MiniC zero-initializes, so the
+// read is deterministic — but a subject relying on an implicit zero in a
+// *local* is almost always a seeding mistake. Globals are exempt: the
+// paper's Figure 1 reads a zero-initialized global by design.
+var UninitRead = &Analyzer{
+	Name:     "uninit-read",
+	Code:     "EOL0001",
+	Severity: Warning,
+	Doc: `flags reads of scalar local variables that may happen before any
+initialization: the declaration has no initializer and some path reaches
+the read without assigning. Detected via reaching definitions — the
+virtual entry definition and uninitialized declaration sites surviving to
+the use.`,
+	Run: runUninitRead,
+}
+
+func runUninitRead(p *Pass) {
+	info := p.Unit.C.Info
+	for _, s := range info.Stmts {
+		id := s.ID()
+		for _, sym := range info.StmtUses[id] {
+			if sym.Kind != sem.Local || sym.IsArray {
+				continue
+			}
+			if d, ok := uninitDeclReaching(p.Unit, id, sym); ok {
+				p.ReportStmt(id, "%s may be read before initialization (declared without initializer at S%d)",
+					sym.Name, d)
+			} else if p.Unit.Flow.EntryReaches(id, sym.ID) {
+				p.ReportStmt(id, "%s may be read before initialization", sym.Name)
+			}
+		}
+	}
+}
+
+// uninitDeclReaching reports whether an initializer-less scalar
+// declaration of sym reaches the use statement.
+func uninitDeclReaching(u *Unit, useStmt int, sym *sem.Symbol) (int, bool) {
+	info := u.C.Info
+	for _, d := range u.Flow.DefsReaching(useStmt, sym.ID) {
+		vd, ok := info.Stmt(d).(*ast.VarDeclStmt)
+		if !ok || vd.Init != nil || vd.Size != nil {
+			continue
+		}
+		if ds := info.Uses[vd.Name]; ds != nil && ds.ID == sym.ID {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// DeadStore (EOL0002) flags scalar assignments to locals and parameters
+// whose value no use can observe.
+var DeadStore = &Analyzer{
+	Name:     "dead-store",
+	Code:     "EOL0002",
+	Severity: Warning,
+	Doc: `flags assignments to scalar locals and parameters whose definition
+reaches no use: the stored value is dead. Declarations and array-element
+writes are exempt (element writes are weak updates under the analysis's
+deliberate whole-array coarseness).`,
+	Run: runDeadStore,
+}
+
+func runDeadStore(p *Pass) {
+	info := p.Unit.C.Info
+	for _, s := range info.Stmts {
+		a, ok := s.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		lhs, ok := a.LHS.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		sym := info.Uses[lhs]
+		if sym == nil || sym.Kind == sem.Global || sym.IsArray || sym.Func == nil {
+			continue
+		}
+		id := s.ID()
+		live := false
+		for _, u := range sym.Func.StmtIDs {
+			if !usesSym(info, u, sym.ID) {
+				continue
+			}
+			for _, d := range p.Unit.Flow.DefsReaching(u, sym.ID) {
+				if d == id {
+					live = true
+					break
+				}
+			}
+			if live {
+				break
+			}
+		}
+		if !live {
+			p.ReportStmt(id, "value assigned to %s is never read", sym.Name)
+		}
+	}
+}
+
+func usesSym(info *sem.Info, stmt, sym int) bool {
+	for _, s := range info.StmtUses[stmt] {
+		if s.ID == sym {
+			return true
+		}
+	}
+	return false
+}
+
+// Unreachable (EOL0003) flags statements no path from function entry can
+// execute. An error: a fault seeded on an unreachable statement silently
+// measures nothing.
+var Unreachable = &Analyzer{
+	Name:     "unreachable-code",
+	Code:     "EOL0003",
+	Severity: Error,
+	Doc: `flags statements unreachable from their function's entry (for
+example, code after an unconditional return). Error severity: a fault
+seeded on an unreachable statement can never execute, silently corrupting
+an experiment.`,
+	Run: runUnreachable,
+}
+
+func runUnreachable(p *Pass) {
+	for _, g := range orderedGraphs(p.Unit) {
+		seen := reachableNodes(g)
+		for _, n := range g.Nodes {
+			if n.Stmt != nil && !seen[n.Idx] {
+				p.ReportStmt(n.Stmt.ID(), "unreachable code")
+			}
+		}
+	}
+}
+
+// reachableNodes marks the nodes forward-reachable from g's entry.
+func reachableNodes(g *cfg.Graph) []bool {
+	seen := make([]bool, len(g.Nodes))
+	stack := []*cfg.Node{g.Entry}
+	seen[g.Entry.Idx] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Succs {
+			if !seen[e.To.Idx] {
+				seen[e.To.Idx] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// orderedGraphs returns the unit's function CFGs in source order.
+func orderedGraphs(u *Unit) []*cfg.Graph {
+	var gs []*cfg.Graph
+	for _, f := range u.C.Info.Prog.Funcs {
+		if g := u.C.CFG.Funcs[f.Name.Name]; g != nil {
+			gs = append(gs, g)
+		}
+	}
+	return gs
+}
+
+// ConstPredicate (EOL0004) flags predicates whose condition folds to a
+// constant: the branch outcome never varies, so the predicate
+// contributes nothing to control flow — and predicate switching it
+// explores an execution the program text already rules out.
+var ConstPredicate = &Analyzer{
+	Name:     "constant-predicate",
+	Code:     "EOL0004",
+	Severity: Warning,
+	Doc: `flags if/while/for conditions that fold to a constant: the branch
+always goes the same way, so the predicate is decoration — and a
+suspicious subject for predicate-switching experiments.`,
+	Run: runConstPredicate,
+}
+
+func runConstPredicate(p *Pass) {
+	info := p.Unit.C.Info
+	for _, s := range info.Stmts {
+		var cond ast.Expr
+		switch t := s.(type) {
+		case *ast.IfStmt:
+			cond = t.Cond
+		case *ast.WhileStmt:
+			cond = t.Cond
+		case *ast.ForStmt:
+			cond = t.Cond
+		default:
+			continue
+		}
+		if cond == nil {
+			continue
+		}
+		if v, ok := constFold(cond); ok {
+			p.ReportStmt(s.ID(), "condition is always %s (folds to %d)", truth(v), v)
+		}
+	}
+}
+
+func truth(v int64) string {
+	if v != 0 {
+		return "true"
+	}
+	return "false"
+}
+
+// constFold evaluates an expression made of literals and fault-free
+// operators; ok is false for anything involving a variable, a call, or
+// an operation whose folding could hide a runtime fault.
+func constFold(x ast.Expr) (int64, bool) {
+	switch t := x.(type) {
+	case *ast.IntLit:
+		return t.Value, true
+	case *ast.UnaryExpr:
+		v, ok := constFold(t.X)
+		if !ok {
+			return 0, false
+		}
+		switch t.Op {
+		case token.SUB:
+			return -v, true
+		case token.NOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		case token.TILD:
+			return ^v, true
+		}
+	case *ast.BinaryExpr:
+		a, aok := constFold(t.X)
+		b, bok := constFold(t.Y)
+		if !aok || !bok {
+			return 0, false
+		}
+		switch t.Op {
+		case token.QUO:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.REM:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case token.SHL, token.SHR:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			if t.Op == token.SHL {
+				return a << uint(b), true
+			}
+			return a >> uint(b), true
+		case token.LAND:
+			return boolVal(a != 0 && b != 0), true
+		case token.LOR:
+			return boolVal(a != 0 || b != 0), true
+		case token.ADD, token.SUB, token.MUL, token.AND, token.OR, token.XOR,
+			token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return pureBinop(t.Op, a, b), true
+		}
+	}
+	return 0, false
+}
+
+// Unused (EOL0005) flags variables never read and functions never
+// called.
+var Unused = &Analyzer{
+	Name:     "unused",
+	Code:     "EOL0005",
+	Severity: Warning,
+	Doc: `flags variables that are never read (locals, parameters and
+globals; assignments alone do not count as reads) and user functions that
+are never called.`,
+	Run: runUnused,
+}
+
+func runUnused(p *Pass) {
+	info := p.Unit.C.Info
+	read := map[int]bool{}
+	for _, s := range info.Stmts {
+		for _, sym := range info.StmtUses[s.ID()] {
+			read[sym.ID] = true
+		}
+	}
+	for _, sym := range info.Symbols {
+		if !read[sym.ID] {
+			p.Report(0, sym.DeclPos, "%s %s is never read", sym.Kind, sym.String())
+		}
+	}
+	called := map[string]bool{}
+	for _, s := range info.Stmts {
+		for _, fn := range info.StmtCalls[s.ID()] {
+			called[fn] = true
+		}
+	}
+	for _, f := range info.Prog.Funcs {
+		if f.Name.Name != "main" && !called[f.Name.Name] {
+			p.Report(0, f.Pos(), "function %s is never called", f.Name.Name)
+		}
+	}
+}
+
+// MissingReturn (EOL0006) flags functions whose result is consumed while
+// some path falls off the end (implicitly returning 0).
+var MissingReturn = &Analyzer{
+	Name:     "missing-return",
+	Code:     "EOL0006",
+	Severity: Warning,
+	Doc: `flags functions whose call results are used as values while some
+path through the body falls off the end or hits a bare return — both
+implicitly produce 0, which is rarely what the subject means.`,
+	Run: runMissingReturn,
+}
+
+func runMissingReturn(p *Pass) {
+	info := p.Unit.C.Info
+	// A function's value is "used" when some call to it is not the
+	// entire expression of an ExprStmt (whose value is discarded).
+	valueUsed := map[string]bool{}
+	for _, s := range info.Stmts {
+		discarded := map[ast.Expr]bool{}
+		if es, ok := s.(*ast.ExprStmt); ok {
+			discarded[es.X] = true
+		}
+		ast.InspectExprs(s, func(x ast.Expr) {
+			if c, ok := x.(*ast.CallExpr); ok && !discarded[x] {
+				if _, isUser := info.Funcs[c.Fun.Name]; isUser {
+					valueUsed[c.Fun.Name] = true
+				}
+			}
+		})
+	}
+	for _, f := range info.Prog.Funcs {
+		name := f.Name.Name
+		if !valueUsed[name] {
+			continue
+		}
+		g := p.Unit.C.CFG.Funcs[name]
+		if g == nil {
+			continue
+		}
+		reachable := reachableNodes(g)
+		for _, e := range g.Exit.Preds {
+			n := e.To
+			if !reachable[n.Idx] {
+				continue // unreachable fall-offs are EOL0003's problem
+			}
+			if n.Stmt == nil {
+				p.Report(0, f.Pos(), "function %s is used for its value but has an empty body", name)
+				break
+			}
+			if ret, isRet := n.Stmt.(*ast.ReturnStmt); !isRet || ret.Value == nil {
+				p.Report(0, f.Pos(), "function %s is used for its value but may return without one (implicitly 0)", name)
+				break
+			}
+		}
+	}
+}
+
+// ConstIndexOOB (EOL0007) flags array accesses with a constant index
+// outside the array bounds: a guaranteed runtime fault if executed.
+var ConstIndexOOB = &Analyzer{
+	Name:     "const-index-oob",
+	Code:     "EOL0007",
+	Severity: Error,
+	Doc: `flags array index expressions whose index folds to a constant
+outside [0, len): executing the access faults unconditionally. Error
+severity: such a subject cannot produce the traced runs the experiments
+need.`,
+	Run: runConstIndexOOB,
+}
+
+func runConstIndexOOB(p *Pass) {
+	info := p.Unit.C.Info
+	for _, s := range info.Stmts {
+		id := s.ID()
+		ast.InspectExprs(s, func(x ast.Expr) {
+			ix, ok := x.(*ast.IndexExpr)
+			if !ok {
+				return
+			}
+			sym := info.Uses[ix.X]
+			if sym == nil || !sym.IsArray {
+				return
+			}
+			if v, ok := constFold(ix.Index); ok && (v < 0 || v >= sym.Size) {
+				p.ReportStmt(id, "constant index %d out of bounds for %s[%d]", v, sym.Name, sym.Size)
+			}
+		})
+	}
+}

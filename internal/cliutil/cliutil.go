@@ -57,10 +57,19 @@ func LoadSource(path string) (string, error) {
 	return string(data), nil
 }
 
-// Fatalf prints to stderr and exits 1.
+// Fatalf prints to stderr and exits 1: the exit code for operational
+// failures (unreadable files, compile errors, runtime faults).
 func Fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
+}
+
+// Usagef prints to stderr and exits 2: the exit code for command-line
+// misuse (wrong arguments, malformed or conflicting flags), following
+// the flag package's convention.
+func Usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
 }
 
 // FormatInts renders values as a comma-separated list.

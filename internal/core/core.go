@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"sort"
 
+	"eol/internal/check"
 	"eol/internal/confidence"
 	"eol/internal/ddg"
 	"eol/internal/implicit"
@@ -140,6 +141,14 @@ type Spec struct {
 	// calls (e.g. many localizations of one program family). Overrides
 	// VerifyCacheSize.
 	VerifyCache *verifyengine.RunCache
+	// NoStaticSkip disables the static skip-filter
+	// (check.SwitchFilter), which proves some verifications NOT_ID from
+	// the failing trace alone and answers them without a switched
+	// re-execution. The filter never changes verdicts, counters or the
+	// VerifyLog — only VerifyStats.Runs and StaticSkips — so it is on
+	// by default; this flag exists for A/B comparison and debugging.
+	// The filter is unsound under PathMode and is force-disabled there.
+	NoStaticSkip bool
 }
 
 // Report is the outcome of LocateFault, carrying the Table 3 counters.
@@ -237,11 +246,22 @@ func Locate(spec *Spec) (*Report, error) {
 		PathMode: spec.PathMode, BudgetFactor: spec.BudgetFactor,
 	}
 
-	eng := verifyengine.New(ver, verifyengine.Config{
+	engCfg := verifyengine.Config{
 		Workers:   spec.VerifyWorkers,
 		CacheSize: spec.VerifyCacheSize,
 		Cache:     spec.VerifyCache,
-	})
+	}
+	// Static skip-filter: answers provably-NOT_ID verifications without a
+	// switched run. Unsound under PathMode (taint through allowed suffix
+	// writes can create an explicit p'-u' path), so only installed for
+	// the default edge-mode verifier.
+	if !spec.NoStaticSkip && !spec.PathMode {
+		flt := check.NewSwitchFilter(spec.Program, nil, tr, wrong.Entry, spec.BudgetFactor)
+		engCfg.Filter = func(req implicit.Request) bool {
+			return flt.ProvablyNotID(req.Pred, req.Use, req.UseSym)
+		}
+	}
+	eng := verifyengine.New(ver, engCfg)
 
 	rep := &Report{WrongOutput: wrong, Vexp: vexp, Trace: tr, Graph: g}
 

@@ -94,6 +94,45 @@ func TestDeterminismFig1(t *testing.T) {
 	}
 }
 
+// TestDeterminismStaticSkip: the static skip-filter must be observably
+// side-effect free — location verdict, Table 3 counters, the VerifyLog
+// and the IPS byte-identical with the filter on vs. off — while actually
+// skipping switched runs somewhere in the suite (the whole point).
+func TestDeterminismStaticSkip(t *testing.T) {
+	off := fig1DetSpec(t)
+	off.NoStaticSkip = true
+	want := locateConfigured(t, off, 1, -1)
+	got := locateConfigured(t, fig1DetSpec(t), 1, -1)
+	assertSameOutcome(t, "fig1/skip-on", want, got)
+
+	var skips int64
+	for _, name := range []string{"sedsim/V3-F2", "sedsim/V3-F3"} {
+		c := bench.ByName(name)
+		if c == nil {
+			t.Fatalf("unknown case %s", name)
+		}
+		p, err := c.Prepare()
+		if err != nil {
+			t.Fatal(err)
+		}
+		specOff := p.Spec()
+		specOff.NoStaticSkip = true
+		want := locateConfigured(t, specOff, 1, -1)
+		got := locateConfigured(t, p.Spec(), 1, -1)
+		assertSameOutcome(t, name+"/skip-on", want, got)
+		if s := got.VerifyStats.StaticSkips; s > 0 {
+			skips += s
+			if got.VerifyStats.Runs+s != want.VerifyStats.Runs {
+				t.Errorf("%s: %d runs + %d skips, want %d runs without the filter",
+					name, got.VerifyStats.Runs, s, want.VerifyStats.Runs)
+			}
+		}
+	}
+	if skips == 0 {
+		t.Error("static skip-filter never fired on the sed benchmarks")
+	}
+}
+
 // TestDeterminismSed: same comparison on the sed simulator benchmark
 // cases — the largest traces and verification batches in the suite.
 func TestDeterminismSed(t *testing.T) {

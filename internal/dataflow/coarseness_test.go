@@ -1,0 +1,43 @@
+package dataflow
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestArrayCoarsenessPinned pins the DELIBERATE whole-array granularity
+// of reaching definitions: element writes are weak defs that kill
+// nothing, so every earlier write — and the implicit zero
+// initialization — still reaches any later element read, even when the
+// constant indices provably differ. The paper's potential-dependence
+// computation (Def. 1) relies on exactly this over-approximation to
+// surface candidate implicit dependences; a "smarter" element-wise
+// analysis here would silently shrink candidate sets. The static
+// checker suite must respect it too: dead-store (EOL0002) exempts
+// array-element writes rather than "fixing" this coarseness.
+func TestArrayCoarsenessPinned(t *testing.T) {
+	info, an := build(t, `
+var a[4];
+func main() {
+    a[0] = read();
+    a[1] = read();
+    print(a[0]);
+}`)
+	sym := symID(t, info, "a")
+	use := stmtID(t, info, "print(a[0])")
+	w0 := stmtID(t, info, "a[0] = read()")
+	w1 := stmtID(t, info, "a[1] = read()")
+
+	got := an.DefsReaching(use, sym)
+	sort.Ints(got)
+	// The a[1] write must NOT kill the a[0] write (weak def), and the
+	// a[0] read must see the a[1] write (whole-array use).
+	want := []int{w0, w1}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("DefsReaching(print, a) = %v, want %v (whole-array coarseness)", got, want)
+	}
+	// The implicit zero init survives both element writes.
+	if !an.EntryReaches(use, sym) {
+		t.Error("virtual entry definition killed by element writes; they must stay weak")
+	}
+}

@@ -315,6 +315,31 @@ func (a *Analysis) DefsReaching(useStmt, sym int) []int {
 	return res
 }
 
+// EntryReaches reports whether the virtual entry definition of sym — the
+// "no definition has executed yet" state — may reach the entry of
+// useStmt: some path from function entry to useStmt never strongly
+// defines sym. This is the static-checker query behind the
+// uninitialized-read pass; note that a plain declaration (`var x;`) is a
+// strong definition (MiniC zero-initializes), so the entry definition
+// only survives up to the declaration.
+func (a *Analysis) EntryReaches(useStmt, sym int) bool {
+	fi := a.info.StmtFunc[useStmt]
+	if fi == nil {
+		return false
+	}
+	f := a.fns[fi.Name]
+	bits, ok := f.reachIn[useStmt]
+	if !ok {
+		return false
+	}
+	for idx, site := range f.sites {
+		if site.Sym == sym && site.Stmt == 0 && bits.get(idx) {
+			return true
+		}
+	}
+	return false
+}
+
 // PotentialBranch answers Definition 1's condition (iv): could a
 // different definition of sym reach useStmt if predicate pred — which
 // dynamically took branch `taken` — had evaluated the other way?

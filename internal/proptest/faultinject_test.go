@@ -32,6 +32,7 @@ func TestRandomFaultInjection(t *testing.T) {
 		if err != nil {
 			t.Fatalf("generator produced a bad program: %v", err)
 		}
+		testsupport.MustValid(t, correct)
 
 		// Pick an if statement to silence. The edit keeps statement
 		// numbering identical (expression-level).
@@ -55,6 +56,9 @@ func TestRandomFaultInjection(t *testing.T) {
 		faulty, err := interp.Compile(faultySrc)
 		if err != nil || faulty.Info.NumStmts() != correct.Info.NumStmts() {
 			continue // textual rewrite misfired; skip
+		}
+		if testsupport.Validate(faulty) != nil {
+			continue // injection made the subject ill-formed; reject it
 		}
 		attempts++
 

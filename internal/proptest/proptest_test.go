@@ -33,6 +33,7 @@ func eachRandomRun(t *testing.T, f func(t *testing.T, c *interp.Compiled, in []i
 		if err != nil {
 			t.Fatalf("program %d does not compile: %v\n%s", i, err, src)
 		}
+		testsupport.MustValid(t, c) // generator contract: no ill-formed subjects
 		in := testsupport.RandomInput(rnd, inputLen)
 		r := interp.Run(c, interp.Options{Input: in, BuildTrace: true})
 		if r.Err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 
+	"eol/internal/check"
 	"eol/internal/interp"
 	"eol/internal/lang/ast"
 )
@@ -37,6 +38,33 @@ func Run(t TB, c *interp.Compiled, input []int64) *interp.Result {
 		t.Fatalf("run: %v", r.Err)
 	}
 	return r
+}
+
+// Validate runs the static checker suite (internal/check) over a
+// compiled subject and reports Error-severity findings — unreachable
+// code, constant out-of-bounds indices — that would silently corrupt
+// slice sizes or verification counts if the subject entered a harness.
+// Warnings and infos are tolerated: benchmark faults deliberately look
+// suspicious.
+func Validate(c *interp.Compiled) error {
+	var bad []string
+	for _, d := range check.Vet(check.NewUnit(c, nil)) {
+		if d.Severity == check.Error {
+			bad = append(bad, d.String())
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("subject fails static validation:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// MustValid fails the test when Validate rejects the subject.
+func MustValid(t TB, c *interp.Compiled) {
+	t.Helper()
+	if err := Validate(c); err != nil {
+		t.Fatalf("%v", err)
+	}
 }
 
 // StmtID returns the ID of the first statement whose one-line rendering

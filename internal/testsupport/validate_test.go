@@ -1,0 +1,50 @@
+package testsupport_test
+
+import (
+	"strings"
+	"testing"
+
+	"eol/internal/interp"
+	"eol/internal/testsupport"
+)
+
+func compile(t *testing.T, src string) *interp.Compiled {
+	t.Helper()
+	c, err := interp.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+// TestValidateRejectsIllFormed: Error-severity findings make a subject
+// unusable as a benchmark or property-test input.
+func TestValidateRejectsIllFormed(t *testing.T) {
+	c := compile(t, `
+func f() {
+	return 1;
+	print(2);
+}
+func main() {
+	print(f());
+}`)
+	err := testsupport.Validate(c)
+	if err == nil || !strings.Contains(err.Error(), "EOL0003") {
+		t.Errorf("Validate = %v, want EOL0003 rejection", err)
+	}
+}
+
+// TestValidateToleratesWarnings: benchmark faults deliberately look
+// suspicious (dead stores, unused flags), so warnings must pass.
+func TestValidateToleratesWarnings(t *testing.T) {
+	c := compile(t, `
+func main() {
+	var x = read();
+	x = 2;
+	x = 3;
+	print(x);
+}`)
+	if err := testsupport.Validate(c); err != nil {
+		t.Errorf("Validate rejected a warning-only subject: %v", err)
+	}
+}

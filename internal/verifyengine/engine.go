@@ -51,6 +51,15 @@ type Config struct {
 	// the sharing point for serving many localizations of the same
 	// program/input family from one store. Overrides CacheSize.
 	Cache *RunCache
+	// Filter, if non-nil, reports that a request's verdict is statically
+	// provable to be NOT_ID (no implicit dependence). Filtered requests
+	// are answered without a switched re-execution: the engine
+	// synthesizes the NOT_ID result and absorbs it in request order, so
+	// the verifier's log, counters and memo stay byte-identical to an
+	// unfiltered run — only Stats.Runs drops. The filter MUST only
+	// return true when the verdict is provably NOT_ID; it is consulted
+	// from the planning loop, never concurrently.
+	Filter func(implicit.Request) bool
 }
 
 // Stats reports what one engine did. Cache* counters are per-engine
@@ -67,6 +76,9 @@ type Stats struct {
 	// missing the cache. Hits are re-executions avoided.
 	CacheHits, CacheMisses int64
 	CacheEvictions         int64
+	// StaticSkips counts verifications answered by the static skip
+	// filter (Config.Filter) without any switched re-execution.
+	StaticSkips int64
 }
 
 // HitRate returns the switched-run cache hit rate in [0, 1].
@@ -90,11 +102,13 @@ type Engine struct {
 	clones  []*implicit.Verifier
 	workers int
 	cache   *RunCache
+	filter  func(implicit.Request) bool
 
 	progHash  uint64
 	inputHash uint64
 
 	batches, batched int64
+	staticSkips      int64
 	runs             atomic.Int64
 	cacheHits        atomic.Int64
 	cacheMisses      atomic.Int64
@@ -108,7 +122,7 @@ func New(base *implicit.Verifier, cfg Config) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{base: base, workers: w}
+	e := &Engine{base: base, workers: w, filter: cfg.Filter}
 	switch {
 	case cfg.Cache != nil:
 		e.cache = cfg.Cache
@@ -182,6 +196,14 @@ func (e *Engine) VerifyBatch(reqs []implicit.Request) []implicit.Verdict {
 			continue
 		}
 		seen[key] = true
+		if e.filter != nil && e.filter(req) {
+			// Statically provable NOT_ID: synthesize the result the
+			// switched run would have produced and skip the run. It is
+			// absorbed below in request order like any worker result.
+			results[i] = &implicit.Result{Verdict: implicit.NotID, UPrime: -1, OPrime: -1}
+			e.staticSkips++
+			continue
+		}
 		jobs = append(jobs, i)
 	}
 
@@ -231,8 +253,9 @@ func (e *Engine) Stats() Stats {
 	s := Stats{
 		Workers: e.workers,
 		Batches: e.batches, Batched: e.batched,
-		Runs:      e.runs.Load(),
-		CacheHits: e.cacheHits.Load(), CacheMisses: e.cacheMisses.Load(),
+		StaticSkips: e.staticSkips,
+		Runs:        e.runs.Load(),
+		CacheHits:   e.cacheHits.Load(), CacheMisses: e.cacheMisses.Load(),
 	}
 	if e.cache != nil {
 		s.CacheEvictions = e.cache.Stats().Evictions
