@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench verify-table
+.PHONY: all build test race vet lint bench verify-table journal-smoke
 
 all: build test lint
 
@@ -34,3 +34,11 @@ bench:
 # Sequential vs parallel vs cached verification scheduling table.
 verify-table:
 	$(GO) run ./cmd/benchtab -table verify -reps 5
+
+# Observability smoke: run one localization with the JSONL run journal
+# on, then validate the journal (docs/OBSERVABILITY.md).
+journal-smoke:
+	$(GO) run ./cmd/eoloc -correct testdata/fig1_fixed.mc -input 1 \
+		-root 'read() * 0' -trace /tmp/eol-journal-smoke.jsonl \
+		testdata/fig1_faulty.mc
+	$(GO) run ./cmd/journalcheck /tmp/eol-journal-smoke.jsonl

@@ -10,6 +10,7 @@ package eol
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"eol/internal/bench"
@@ -20,6 +21,7 @@ import (
 	"eol/internal/harness"
 	"eol/internal/implicit"
 	"eol/internal/interp"
+	"eol/internal/obs"
 	"eol/internal/slicing"
 	"eol/internal/trace"
 	"eol/internal/verifyengine"
@@ -278,6 +280,41 @@ func BenchmarkVerifyEngineLocate(b *testing.B) {
 					spec := p.Spec()
 					spec.VerifyWorkers = m.workers
 					spec.VerifyCacheSize = m.cacheSz
+					rep, err := core.Locate(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Located {
+						b.Fatalf("%s: not located", name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkObserverOverhead measures what observation costs a full
+// localization: nil observer (the fast path every unobserved run takes)
+// vs a JSONL journal to io.Discard vs the in-memory timeline sink. The
+// nil mode is the one the <5% overhead budget in docs/OBSERVABILITY.md
+// is measured against.
+func BenchmarkObserverOverhead(b *testing.B) {
+	modes := []struct {
+		name string
+		mk   func() obs.Observer
+	}{
+		{"nil", func() obs.Observer { return nil }},
+		{"journal", func() obs.Observer { return obs.NewJournal(io.Discard) }},
+		{"memory", func() obs.Observer { return &obs.Memory{} }},
+	}
+	for _, name := range []string{"gzipsim/V2-F3", "sedsim/V3-F2"} {
+		p := prep(b, name)
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("%s/%s", name, m.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					spec := p.Spec()
+					spec.VerifyWorkers = 1
+					spec.Observer = m.mk()
 					rep, err := core.Locate(spec)
 					if err != nil {
 						b.Fatal(err)

@@ -15,6 +15,10 @@
 //	benchtab -ablation A|B|C|D ablation experiments (see DESIGN.md)
 //	benchtab -reps N           timing repetitions for tables 4/verify
 //	benchtab -cases            list the benchmark error cases
+//	benchtab -workers N        worker-pool size for -table verify
+//	benchtab -cache N          cached-mode cache size for -table verify
+//	benchtab -trace FILE       JSONL journal of the observed localizations
+//	benchtab -progress         live phase progress on stderr
 package main
 
 import (
@@ -31,7 +35,20 @@ func main() {
 	ablFlag := flag.String("ablation", "", "ablation to run: A, B, C or D")
 	repsFlag := flag.Int("reps", 20, "timing repetitions for tables 4 and verify")
 	casesFlag := flag.Bool("cases", false, "list benchmark error cases")
+	engFlags := cliutil.RegisterEngineFlags(flag.CommandLine)
+	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	observer, closeObs, err := obsFlags.Observer()
+	if err != nil {
+		cliutil.Fatalf("benchtab: %v", err)
+	}
+	opt := harness.Options{
+		Reps:     *repsFlag,
+		Workers:  engFlags.Workers,
+		Cache:    engFlags.Cache,
+		Observer: observer,
+	}
 
 	switch {
 	case *casesFlag:
@@ -46,19 +63,22 @@ func main() {
 		fmt.Print(out)
 	case *tableFlag == "all":
 		for _, t := range []string{"1", "2", "3", "4", "verify"} {
-			out, err := harness.Render(t, *repsFlag)
+			out, err := harness.Render(t, opt)
 			if err != nil {
 				cliutil.Fatalf("benchtab: %v", err)
 			}
 			fmt.Println(out)
 		}
 	case *tableFlag != "":
-		out, err := harness.Render(*tableFlag, *repsFlag)
+		out, err := harness.Render(*tableFlag, opt)
 		if err != nil {
 			cliutil.Fatalf("benchtab: %v", err)
 		}
 		fmt.Print(out)
 	default:
 		cliutil.Usagef("usage: benchtab -table 1|2|3|4|all | -ablation A|B|C|D | -cases")
+	}
+	if cerr := closeObs(); cerr != nil {
+		cliutil.Fatalf("benchtab: closing -trace journal: %v", cerr)
 	}
 }

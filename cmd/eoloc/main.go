@@ -15,6 +15,10 @@
 //	                for value profiles
 //	-perturb        enable the value-perturbation fallback (§5)
 //	-report FILE    write a markdown debugging report
+//	-workers N      verification workers (0 = GOMAXPROCS, 1 = sequential)
+//	-cache N        switched-run cache size (0 = default, negative = off)
+//	-trace FILE     write the deterministic JSONL run journal
+//	-progress       print live phase progress to stderr
 //
 // The correct version provides both the expected output and the
 // ground-truth benign-state oracle (instances whose state matches the
@@ -47,6 +51,8 @@ func main() {
 	profileFlag := flag.String("profile", "", "';'-separated passing inputs for value profiles")
 	perturbFlag := flag.Bool("perturb", false, "enable the value-perturbation fallback")
 	reportFlag := flag.String("report", "", "write a markdown debugging report to this file")
+	engFlags := cliutil.RegisterEngineFlags(flag.CommandLine)
+	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() != 1 || *correctFlag == "" {
@@ -65,6 +71,11 @@ func main() {
 		cliutil.Fatalf("eoloc: correct run: %v", corRun.Err)
 	}
 
+	observer, closeObs, err := obsFlags.Observer()
+	if err != nil {
+		cliutil.Fatalf("eoloc: %v", err)
+	}
+
 	spec := &core.Spec{
 		Program:         faulty,
 		Input:           input,
@@ -73,6 +84,9 @@ func main() {
 		MaxIterations:   *itersFlag,
 		PathMode:        *pathFlag,
 		PerturbFallback: *perturbFlag,
+		VerifyWorkers:   engFlags.Workers,
+		VerifyCacheSize: engFlags.Cache,
+		Observer:        observer,
 	}
 
 	if *rootFlag != "" {
@@ -103,6 +117,9 @@ func main() {
 	}
 
 	rep, err := core.Locate(spec)
+	if cerr := closeObs(); cerr != nil {
+		cliutil.Fatalf("eoloc: closing -trace journal: %v", cerr)
+	}
 	if err != nil {
 		cliutil.Fatalf("eoloc: %v", err)
 	}
@@ -110,7 +127,7 @@ func main() {
 	fmt.Printf("wrong output #%d: got %d, expected %d\n",
 		rep.WrongOutput.Seq, rep.WrongOutput.Value, rep.Vexp)
 	fmt.Printf("%d user prunings, %d verifications, %d iterations, %d implicit edges (%d strong)\n",
-		rep.UserPrunings, rep.Verifications, rep.Iterations, rep.ExpandedEdges,
+		rep.Stats.UserPrunings, rep.Stats.Verifications, rep.Stats.Iterations, rep.Stats.ExpandedEdges,
 		rep.Graph.NumExtraEdges(ddg.StrongImplicit))
 	if rep.Located {
 		inst := rep.Trace.At(rep.RootEntry).Inst

@@ -20,6 +20,10 @@
 //	     by predicate switching and add the verified implicit edges
 //	l  - print the current ranked candidate list
 //	q  - quit, printing the final fault candidate set
+//
+// The [e]xpand verifications go through the verification engine, so the
+// unified -workers / -cache flags size its pool and switched-run cache,
+// and -trace / -progress observe the session like any eoloc run.
 package main
 
 import (
@@ -35,8 +39,10 @@ import (
 	"eol/internal/implicit"
 	"eol/internal/interp"
 	"eol/internal/lang/ast"
+	"eol/internal/obs"
 	"eol/internal/slicing"
 	"eol/internal/trace"
+	"eol/internal/verifyengine"
 )
 
 func main() {
@@ -44,6 +50,8 @@ func main() {
 	textFlag := flag.String("text", "", "input as the bytes of a string")
 	correctFlag := flag.String("correct", "", "path to the correct program version")
 	expectedFlag := flag.String("expected", "", "expected output values (overrides -correct)")
+	engFlags := cliutil.RegisterEngineFlags(flag.CommandLine)
+	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -87,11 +95,18 @@ func main() {
 		cliutil.Usagef("eolshell: need -correct or -expected")
 	}
 
-	sh, err := newShell(faulty, input, expected)
+	observer, closeObs, err := obsFlags.Observer()
+	if err != nil {
+		cliutil.Fatalf("eolshell: %v", err)
+	}
+	sh, err := newShell(faulty, input, expected, *engFlags, obs.NewRecorder(observer))
 	if err != nil {
 		cliutil.Fatalf("eolshell: %v", err)
 	}
 	sh.loop(bufio.NewScanner(os.Stdin))
+	if cerr := closeObs(); cerr != nil {
+		cliutil.Fatalf("eolshell: closing -trace journal: %v", cerr)
+	}
 }
 
 // shell drives one interactive session.
@@ -101,13 +116,17 @@ type shell struct {
 	cx  *slicing.Context
 	an  *confidence.Analyzer
 	ver *implicit.Verifier
+	eng *verifyengine.Engine
+	rec *obs.Recorder
 
 	judged   map[int]bool // entries the user declared corrupted
 	expanded map[int]bool
 }
 
-func newShell(c *interp.Compiled, input, expected []int64) (*shell, error) {
-	run := interp.Run(c, interp.Options{Input: input, BuildTrace: true})
+func newShell(c *interp.Compiled, input, expected []int64, ef cliutil.EngineFlags, rec *obs.Recorder) (*shell, error) {
+	rec.Begin("failing_run")
+	run := interp.Run(c, interp.Options{Input: input, BuildTrace: true, Rec: rec})
+	rec.End("failing_run", int64(run.Steps))
 	if run.Err != nil {
 		return nil, fmt.Errorf("failing run aborted: %w", run.Err)
 	}
@@ -127,10 +146,15 @@ func newShell(c *interp.Compiled, input, expected []int64) (*shell, error) {
 	g := ddg.New(tr)
 	an := confidence.New(c, g, nil, correct, wrong)
 	an.Compute()
-	ver := &implicit.Verifier{C: c, Input: input, Orig: tr, WrongOut: wrong}
+	ver := &implicit.Verifier{C: c, Input: input, Orig: tr, WrongOut: wrong, Rec: rec}
 	if seq < len(expected) {
 		ver.Vexp, ver.HasVexp = expected[seq], true
 	}
+	eng := verifyengine.New(ver, verifyengine.Config{
+		Workers:   ef.Workers,
+		CacheSize: ef.Cache,
+		Rec:       rec,
+	})
 	fmt.Printf("wrong output #%d: got %d", seq, wrong.Value)
 	if ver.HasVexp {
 		fmt.Printf(", expected %d", ver.Vexp)
@@ -138,6 +162,7 @@ func newShell(c *interp.Compiled, input, expected []int64) (*shell, error) {
 	fmt.Printf(" (printed at %v)\n", tr.At(wrong.Entry).Inst)
 	return &shell{
 		c: c, tr: tr, cx: slicing.NewContext(c, tr), an: an, ver: ver,
+		eng: eng, rec: rec,
 		judged: map[int]bool{}, expanded: map[int]bool{},
 	}, nil
 }
@@ -187,11 +212,16 @@ func (sh *shell) expand() {
 			fmt.Printf("no potential dependences at %v; trying the next candidate\n", sh.tr.At(u).Inst)
 			continue
 		}
-		added := 0
-		for _, pd := range pds {
-			verdict := sh.ver.Verify(implicit.Request{
+		reqs := make([]implicit.Request, len(pds))
+		for i, pd := range pds {
+			reqs[i] = implicit.Request{
 				Pred: pd.Pred, Use: u, UseSym: pd.UseSym, UseElem: pd.UseElem,
-			})
+			}
+		}
+		verdicts := sh.eng.VerifyBatch(reqs)
+		added := 0
+		for i, pd := range pds {
+			verdict := verdicts[i]
 			pi := sh.tr.At(pd.Pred).Inst
 			fmt.Printf("  VerifyDep(%v -> %v) = %v\n", pi, sh.tr.At(u).Inst, verdict)
 			switch verdict {
@@ -242,7 +272,9 @@ func (sh *shell) loop(in *bufio.Scanner) {
 		case "q", "quit", "":
 			fmt.Println("final state:")
 			sh.list()
-			fmt.Printf("%d verifications performed\n", sh.ver.Verifications)
+			es := sh.eng.Stats()
+			fmt.Printf("%d verifications performed (%d switched runs, %d cache hits)\n",
+				sh.ver.Verifications, es.Runs, es.CacheHits)
 			return
 		default:
 			fmt.Println("commands: y(es) n(o) e(xpand) l(ist) q(uit)")

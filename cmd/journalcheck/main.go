@@ -1,0 +1,51 @@
+// Command journalcheck validates JSONL run journals written by the
+// -trace flag of eoloc, benchtab, eolshell or slicer (or any
+// obs.Journal sink): every line must be valid JSON, sequence numbers
+// contiguous from 1, event kinds known, and begin/end spans balanced.
+//
+// Usage:
+//
+//	journalcheck FILE...
+//	journalcheck -          read one journal from stdin
+//
+// Exit status: 0 when every journal is valid, 1 when any is invalid or
+// unreadable, 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"eol/internal/cliutil"
+	"eol/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(), "usage: journalcheck FILE... (or - for stdin)")
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		cliutil.Usagef("usage: journalcheck FILE... (or - for stdin)")
+	}
+	for _, path := range flag.Args() {
+		data, err := load(path)
+		if err != nil {
+			cliutil.Fatalf("journalcheck: %v", err)
+		}
+		if err := obs.ValidateJournal(bytes.NewReader(data)); err != nil {
+			cliutil.Fatalf("journalcheck: %s: %v", path, err)
+		}
+		fmt.Printf("%s: ok (%d events)\n", path, bytes.Count(data, []byte{'\n'}))
+	}
+}
+
+func load(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}

@@ -12,6 +12,8 @@
 //	-instances        list statement instances, not just statistics
 //	-dot FILE         write the relevant-slice dependence graph (with
 //	                  potential edges) as Graphviz DOT
+//	-trace FILE       write the deterministic JSONL run journal
+//	-progress         print live phase progress to stderr
 //
 // The correct version supplies the expected output; the first differing
 // value is the wrong output the slices are computed from.
@@ -28,6 +30,7 @@ import (
 	"eol/internal/ddg"
 	"eol/internal/interp"
 	"eol/internal/lang/ast"
+	"eol/internal/obs"
 	"eol/internal/slicing"
 	"eol/internal/trace"
 )
@@ -39,6 +42,7 @@ func main() {
 	slicesFlag := flag.String("slices", "ds,rs,ps", "which slices to print")
 	instFlag := flag.Bool("instances", false, "list statement instances")
 	dotFlag := flag.String("dot", "", "write the RS dependence graph as DOT to this file")
+	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() != 1 || *correctFlag == "" {
@@ -52,11 +56,19 @@ func main() {
 	faulty := mustCompile(flag.Arg(0))
 	correct := mustCompile(*correctFlag)
 
-	expRun := interp.Run(correct, interp.Options{Input: input})
+	observer, closeObs, err := obsFlags.Observer()
+	if err != nil {
+		cliutil.Fatalf("slicer: %v", err)
+	}
+	rec := obs.NewRecorder(observer)
+
+	expRun := interp.Run(correct, interp.Options{Input: input, Rec: rec})
 	if expRun.Err != nil {
 		cliutil.Fatalf("slicer: correct run: %v", expRun.Err)
 	}
-	run := interp.Run(faulty, interp.Options{Input: input, BuildTrace: true})
+	rec.Begin("failing_run")
+	run := interp.Run(faulty, interp.Options{Input: input, BuildTrace: true, Rec: rec})
+	rec.End("failing_run", int64(run.Steps))
 	if run.Err != nil {
 		cliutil.Fatalf("slicer: faulty run: %v", run.Err)
 	}
@@ -72,6 +84,7 @@ func main() {
 	fmt.Printf("wrong output #%d: got %d, expected %d (at %v)\n",
 		seq, o.Value, expRun.OutputValues()[seq], run.Trace.At(o.Entry).Inst)
 
+	rec.Begin("slicing")
 	cx := slicing.NewContext(faulty, run.Trace)
 	seed := slicing.FailureSeeds(run.Trace, seq)
 
@@ -123,6 +136,10 @@ func main() {
 		default:
 			cliutil.Usagef("slicer: unknown slice kind %q", which)
 		}
+	}
+	rec.End("slicing", int64(run.Trace.Len()))
+	if cerr := closeObs(); cerr != nil {
+		cliutil.Fatalf("slicer: closing -trace journal: %v", cerr)
 	}
 }
 

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"strings"
 
+	"io"
+
 	"eol/internal/align"
 	"eol/internal/confidence"
 	"eol/internal/core"
@@ -32,6 +34,7 @@ import (
 	"eol/internal/implicit"
 	"eol/internal/interp"
 	"eol/internal/lang/ast"
+	"eol/internal/obs"
 	"eol/internal/oracle"
 	"eol/internal/slicing"
 	"eol/internal/trace"
@@ -174,15 +177,47 @@ type Session struct {
 	cx       *slicing.Context
 	profile  *confidence.Profile
 
-	oracle       core.Oracle
-	pathMode     bool
-	perturbFB    bool
-	crossFn      bool
-	maxIter      int
-	roots        []int
-	verifyWorker int
-	verifyCache  int
-	noStaticSkip bool
+	settings Settings
+}
+
+// Settings collects every Locate knob in one place. LocateOption
+// helpers mutate a Settings value, and the applied settings persist on
+// the Session across Locate calls. The zero value is the default
+// configuration.
+type Settings struct {
+	// RootCause lists the statement IDs that constitute the fault; the
+	// search stops when any of them enters the candidate set.
+	RootCause []int
+	// Oracle judges benign program state (see WithOracle). Mutually
+	// exclusive with Correct; the option applied last wins.
+	Oracle func(inst Instance, stmtText string) bool
+	// Correct is the correct program version used as a ground-truth
+	// state oracle (see WithCorrectVersion).
+	Correct *Program
+	// MaxIterations bounds the expansion loop (0 = default 10).
+	MaxIterations int
+	// PathMode selects the safe explicit-path variant of VerifyDep.
+	PathMode bool
+	// PerturbFallback enables value-perturbation verification when
+	// predicate switching exposes no dependence.
+	PerturbFallback bool
+	// CrossFunctionPD extends potential dependences across function
+	// boundaries for globals.
+	CrossFunctionPD bool
+	// VerifyWorkers sizes the verification worker pool (0 = GOMAXPROCS,
+	// 1 = sequential).
+	VerifyWorkers int
+	// VerifyCacheSize bounds the switched-run cache (0 = default,
+	// negative = disabled).
+	VerifyCacheSize int
+	// NoStaticSkip disables the static skip-filter.
+	NoStaticSkip bool
+	// Observer receives the run's deterministic event stream (see
+	// WithObserver and docs/OBSERVABILITY.md).
+	Observer Observer
+	// Timeline additionally captures the event stream in
+	// Diagnosis.Timeline.
+	Timeline bool
 }
 
 // NewSession runs the program on input, compares against the expected
@@ -354,7 +389,7 @@ func (s *Session) VerifyImplicitDependence(pred, use Instance, variable string) 
 	v := &implicit.Verifier{
 		C: s.p.c, Input: s.input, Orig: s.run.Trace,
 		WrongOut: *s.run.Trace.OutputAt(s.seq),
-		PathMode: s.pathMode,
+		PathMode: s.settings.PathMode,
 	}
 	if s.seq < len(s.expected) {
 		v.Vexp, v.HasVexp = s.expected[s.seq], true
@@ -366,44 +401,50 @@ func (s *Session) VerifyImplicitDependence(pred, use Instance, variable string) 
 // ---------------------------------------------------------------------------
 // Localization
 
-// LocateOption configures Locate.
-type LocateOption func(*Session)
+// LocateOption configures Locate by mutating the Session's Settings.
+type LocateOption func(*Settings)
+
+// WithSettings replaces the session's settings wholesale — the bulk
+// alternative to chaining individual options.
+func WithSettings(st Settings) LocateOption {
+	return func(s *Settings) { *s = st }
+}
 
 // WithRootCause tells the locator which statement IDs constitute the
 // fault, so the search can stop as soon as one enters the candidate set.
 func WithRootCause(stmts ...int) LocateOption {
-	return func(s *Session) { s.roots = stmts }
+	return func(s *Settings) { s.RootCause = stmts }
 }
 
 // WithOracle supplies the benign-state judge (the interactive programmer
 // of Algorithm 2): it receives an instance and the statement's source
 // text and reports whether the program state there is correct.
 func WithOracle(f func(inst Instance, stmtText string) bool) LocateOption {
-	return func(s *Session) { s.oracle = funcOracle{p: s.p, f: f} }
+	return func(s *Settings) { s.Oracle, s.Correct = f, nil }
 }
 
 // WithPathMode selects the safe explicit-path variant of VerifyDep.
 func WithPathMode() LocateOption {
-	return func(s *Session) { s.pathMode = true }
+	return func(s *Settings) { s.PathMode = true }
 }
 
 // WithMaxIterations bounds the expansion loop.
 func WithMaxIterations(n int) LocateOption {
-	return func(s *Session) { s.maxIter = n }
+	return func(s *Settings) { s.MaxIterations = n }
 }
 
 // WithVerifyWorkers sizes the verification worker pool (0 = GOMAXPROCS,
 // 1 = sequential). Any value yields the same diagnosis — verification
 // scheduling is deterministic — only wall-clock time changes.
 func WithVerifyWorkers(n int) LocateOption {
-	return func(s *Session) { s.verifyWorker = n }
+	return func(s *Settings) { s.VerifyWorkers = n }
 }
 
 // WithVerifyCacheSize bounds the switched-run cache (0 = default size,
 // negative = disabled). Repeated verifications against the same predicate
 // instance reuse one re-execution.
 func WithVerifyCacheSize(n int) LocateOption {
-	return func(s *Session) { s.verifyCache = n }
+	return func(s *Settings) { s.VerifyCacheSize = n }
 }
 
 // WithoutStaticSkip disables the static skip-filter, which proves some
@@ -411,7 +452,20 @@ func WithVerifyCacheSize(n int) LocateOption {
 // without a switched re-execution. The diagnosis is identical either
 // way; the flag exists for A/B comparison of run counts.
 func WithoutStaticSkip() LocateOption {
-	return func(s *Session) { s.noStaticSkip = true }
+	return func(s *Settings) { s.NoStaticSkip = true }
+}
+
+// WithObserver attaches an observer to the localization run: it receives
+// the deterministic event stream — phase spans, counter deltas, final
+// stats gauges. See NewJournal, NewProgress and docs/OBSERVABILITY.md.
+func WithObserver(o Observer) LocateOption {
+	return func(s *Settings) { s.Observer = o }
+}
+
+// WithTimeline captures the run's event stream in Diagnosis.Timeline
+// (usable with or without WithObserver).
+func WithTimeline() LocateOption {
+	return func(s *Settings) { s.Timeline = true }
 }
 
 type funcOracle struct {
@@ -441,21 +495,14 @@ type Diagnosis struct {
 	// Candidates is the final pruned expanded slice (IPS), ranked most
 	// suspicious first.
 	Candidates []Candidate
-	// Counters in the paper's Table 3 terms.
-	UserPrunings  int
-	Verifications int
-	Iterations    int
-	ExpandedEdges int
-	// StrongEdges / ImplicitEdges count the verified edges added.
-	StrongEdges, ImplicitEdges int
-	// SwitchedRuns counts the re-executions actually performed by the
-	// verification engine; CacheHitRate is the fraction of switched-run
-	// lookups served from the cache instead of re-executing.
-	SwitchedRuns int64
-	CacheHitRate float64
-	// StaticSkips counts verifications answered by the static
-	// skip-filter without any switched re-execution.
-	StaticSkips int64
+	// Stats aggregates the run's counters: the paper's Table 3 terms
+	// (UserPrunings, Verifications, Iterations, ExpandedEdges,
+	// StrongEdges, ImplicitEdges) and the verification engine's cost
+	// counters (SwitchedRuns, CacheHits/Misses, StaticSkips,
+	// AlignedRegions).
+	Stats Stats
+	// Timeline is the run's full event stream when WithTimeline was set.
+	Timeline []Event
 
 	program *Program
 }
@@ -470,7 +517,8 @@ func (d *Diagnosis) Explain() string {
 		fmt.Fprintf(&sb, "root cause not located\n")
 	}
 	fmt.Fprintf(&sb, "%d user prunings, %d verifications, %d iterations, %d implicit edges (%d strong)\n",
-		d.UserPrunings, d.Verifications, d.Iterations, d.ExpandedEdges, d.StrongEdges)
+		d.Stats.UserPrunings, d.Stats.Verifications, d.Stats.Iterations,
+		d.Stats.ExpandedEdges, d.Stats.StrongEdges)
 	fmt.Fprintf(&sb, "fault candidates (most suspicious first):\n")
 	for i, c := range d.Candidates {
 		if i >= 10 {
@@ -485,39 +533,55 @@ func (d *Diagnosis) Explain() string {
 // Locate runs the demand-driven localization procedure (Algorithm 2).
 func (s *Session) Locate(opts ...LocateOption) (*Diagnosis, error) {
 	for _, o := range opts {
-		o(s)
+		o(&s.settings)
 	}
+	st := &s.settings
+
+	var orc core.Oracle
+	switch {
+	case st.Correct != nil:
+		res := interp.Run(st.Correct.c, interp.Options{Input: s.input, BuildTrace: true})
+		if res.Err == nil && res.Trace != nil {
+			orc = &oracle.StateOracle{Correct: res.Trace}
+		}
+	case st.Oracle != nil:
+		orc = funcOracle{p: s.p, f: st.Oracle}
+	}
+
+	var mem *obs.Memory
+	observer := st.Observer
+	if st.Timeline {
+		mem = &obs.Memory{}
+		observer = obs.Tee(observer, mem)
+	}
+
 	spec := &core.Spec{
 		Program:         s.p.c,
 		Input:           s.input,
 		Expected:        s.expected,
-		RootCause:       s.roots,
-		Oracle:          s.oracle,
+		RootCause:       st.RootCause,
+		Oracle:          orc,
 		Profile:         s.profile,
-		MaxIterations:   s.maxIter,
-		PathMode:        s.pathMode,
-		PerturbFallback: s.perturbFB,
-		CrossFunctionPD: s.crossFn,
-		VerifyWorkers:   s.verifyWorker,
-		VerifyCacheSize: s.verifyCache,
-		NoStaticSkip:    s.noStaticSkip,
+		MaxIterations:   st.MaxIterations,
+		PathMode:        st.PathMode,
+		PerturbFallback: st.PerturbFallback,
+		CrossFunctionPD: st.CrossFunctionPD,
+		VerifyWorkers:   st.VerifyWorkers,
+		VerifyCacheSize: st.VerifyCacheSize,
+		NoStaticSkip:    st.NoStaticSkip,
+		Observer:        observer,
 	}
 	rep, err := core.Locate(spec)
 	if err != nil {
 		return nil, err
 	}
 	d := &Diagnosis{
-		Located:       rep.Located,
-		UserPrunings:  rep.UserPrunings,
-		Verifications: rep.Verifications,
-		Iterations:    rep.Iterations,
-		ExpandedEdges: rep.ExpandedEdges,
-		StrongEdges:   rep.Graph.NumExtraEdges(ddg.StrongImplicit),
-		ImplicitEdges: rep.Graph.NumExtraEdges(ddg.Implicit),
-		SwitchedRuns:  rep.VerifyStats.Runs,
-		CacheHitRate:  rep.VerifyStats.HitRate(),
-		StaticSkips:   rep.VerifyStats.StaticSkips,
-		program:       s.p,
+		Located: rep.Located,
+		Stats:   rep.Stats,
+		program: s.p,
+	}
+	if mem != nil {
+		d.Timeline = mem.Events()
 	}
 	if rep.Located {
 		d.Root = rep.Trace.At(rep.RootEntry).Inst
@@ -603,13 +667,7 @@ func (s *Session) Confidence(inst Instance) (float64, bool) {
 // The correct version must be structurally identical (expression-level
 // fault) for the pairing to be meaningful.
 func WithCorrectVersion(correct *Program) LocateOption {
-	return func(s *Session) {
-		res := interp.Run(correct.c, interp.Options{Input: s.input, BuildTrace: true})
-		if res.Err != nil || res.Trace == nil {
-			return
-		}
-		s.oracle = &oracle.StateOracle{Correct: res.Trace}
-	}
+	return func(s *Settings) { s.Correct, s.Oracle = correct, nil }
 }
 
 // WithCrossFunctionPD extends potential dependences across function
@@ -617,7 +675,7 @@ func WithCorrectVersion(correct *Program) LocateOption {
 // reachable (removes the intraprocedural limitation at the cost of more
 // verification candidates).
 func WithCrossFunctionPD() LocateOption {
-	return func(s *Session) { s.crossFn = true }
+	return func(s *Settings) { s.CrossFunctionPD = true }
 }
 
 // WithPerturbFallback enables the value-perturbation fallback (the
@@ -626,8 +684,37 @@ func WithCrossFunctionPD() LocateOption {
 // locator perturbs the values feeding the candidate predicates across
 // comparison boundaries and the value profile instead.
 func WithPerturbFallback() LocateOption {
-	return func(s *Session) { s.perturbFB = true }
+	return func(s *Settings) { s.PerturbFallback = true }
 }
+
+// ---------------------------------------------------------------------------
+// Observability
+
+// Event is one record of a localization run's observability stream
+// (see docs/OBSERVABILITY.md for the schema).
+type Event = obs.Event
+
+// Observer consumes a run's event stream.
+type Observer = obs.Observer
+
+// Stats aggregates a run's counters; see Diagnosis.Stats.
+type Stats = obs.Stats
+
+// Journal is a JSONL run-journal sink. The journal for a fixed
+// configuration is byte-identical across runs and worker counts; call
+// Flush when the run is done.
+type Journal = obs.Journal
+
+// NewJournal returns a Journal writing JSON Lines to w.
+func NewJournal(w io.Writer) *Journal { return obs.NewJournal(w) }
+
+// NewProgress returns an observer rendering a human-readable live view
+// of the run to w.
+func NewProgress(w io.Writer) Observer { return obs.NewProgress(w) }
+
+// TeeObservers fans one event stream out to several observers (nils are
+// dropped).
+func TeeObservers(os ...Observer) Observer { return obs.Tee(os...) }
 
 // VerifyByPerturbation checks whether `use` depends on the *definition*
 // instance `def` by re-executing with def's value replaced by each

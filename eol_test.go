@@ -1,11 +1,13 @@
 package eol
 
 import (
+	"bytes"
 	"errors"
 	"reflect"
 	"strings"
 	"testing"
 
+	"eol/internal/obs"
 	"eol/internal/testsupport"
 )
 
@@ -162,7 +164,7 @@ func TestSessionLocate(t *testing.T) {
 	if diag.Root.Stmt != root {
 		t.Errorf("root = %v, want S%d", diag.Root, root)
 	}
-	if diag.StrongEdges < 1 {
+	if diag.Stats.StrongEdges < 1 {
 		t.Errorf("no strong edges: %+v", diag)
 	}
 	if len(diag.Candidates) == 0 {
@@ -339,5 +341,93 @@ func TestFacadeSurface(t *testing.T) {
 	}
 	if !diag.Located {
 		t.Errorf("locate with all options failed:\n%s", diag.Explain())
+	}
+}
+
+// TestObserverAndTimeline exercises the observability surface: the
+// journal observer produces a schema-valid JSONL stream, WithTimeline
+// captures the same events on the Diagnosis, and the stream agrees with
+// the final Stats.
+func TestObserverAndTimeline(t *testing.T) {
+	s, faulty, fixed := fig1Session(t)
+	root, _ := faulty.FindStatement("read() * 0")
+
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	diag, err := s.Locate(
+		WithRootCause(root),
+		WithCorrectVersion(fixed),
+		WithObserver(j),
+		WithTimeline(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Located {
+		t.Fatalf("not located:\n%s", diag.Explain())
+	}
+	if err := obs.ValidateJournal(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("journal does not validate: %v", err)
+	}
+	if len(diag.Timeline) == 0 {
+		t.Fatal("WithTimeline captured no events")
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(diag.Timeline) {
+		t.Errorf("journal has %d lines, timeline %d events", lines, len(diag.Timeline))
+	}
+	// The final gauges mirror Diagnosis.Stats.
+	gauges := map[string]int64{}
+	for _, e := range diag.Timeline {
+		if e.Kind == obs.KindGauge {
+			gauges[e.Name] = e.Value
+		}
+	}
+	if gauges["verifications"] != int64(diag.Stats.Verifications) {
+		t.Errorf("verifications gauge = %d, stats say %d",
+			gauges["verifications"], diag.Stats.Verifications)
+	}
+	if gauges["switched_runs"] != diag.Stats.SwitchedRuns {
+		t.Errorf("switched_runs gauge = %d, stats say %d",
+			gauges["switched_runs"], diag.Stats.SwitchedRuns)
+	}
+	if loc, ok := gauges["located"]; !ok || loc != 1 {
+		t.Errorf("located gauge = %d (present=%v), want 1", loc, ok)
+	}
+
+	// Timeline without an explicit observer works too, on a fresh session.
+	s2, _, _ := fig1Session(t)
+	diag2, err := s2.Locate(
+		WithRootCause(root),
+		WithCorrectVersion(fixed),
+		WithTimeline(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diag2.Timeline) != len(diag.Timeline) {
+		t.Errorf("timeline-only run captured %d events, observer run %d",
+			len(diag2.Timeline), len(diag.Timeline))
+	}
+}
+
+// TestWithSettings checks the bulk-configuration option and that applied
+// settings persist on the session.
+func TestWithSettings(t *testing.T) {
+	s, faulty, fixed := fig1Session(t)
+	root, _ := faulty.FindStatement("read() * 0")
+	diag, err := s.Locate(WithSettings(Settings{
+		RootCause:     []int{root},
+		Correct:       fixed,
+		VerifyWorkers: 2,
+		MaxIterations: 5,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Located {
+		t.Fatalf("not located:\n%s", diag.Explain())
 	}
 }

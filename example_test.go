@@ -84,7 +84,7 @@ func ExampleSession_Locate() {
 		eol.WithCorrectVersion(correct),
 	)
 	fmt.Printf("located: %v at %v\n", diag.Located, diag.Root)
-	fmt.Printf("iterations: %d, strong edges: %d\n", diag.Iterations, diag.StrongEdges)
+	fmt.Printf("iterations: %d, strong edges: %d\n", diag.Stats.Iterations, diag.Stats.StrongEdges)
 	// Output:
 	// located: true at S5#1
 	// iterations: 1, strong edges: 1

@@ -73,7 +73,7 @@ func demo(src string, input, expected []int64, rootFrag string, extension eol.Lo
 	diag, err := s1.Locate(eol.WithRootCause(root))
 	check(err)
 	fmt.Printf("standard locator:  located=%v (%d verifications)\n",
-		diag.Located, diag.Verifications)
+		diag.Located, diag.Stats.Verifications)
 
 	// With the extension: located.
 	s2, err := eol.NewSession(p, input, expected)
@@ -81,7 +81,7 @@ func demo(src string, input, expected []int64, rootFrag string, extension eol.Lo
 	diag, err = s2.Locate(eol.WithRootCause(root), extension)
 	check(err)
 	fmt.Printf("with extension:    located=%v at %v (%d verifications)\n",
-		diag.Located, diag.Root, diag.Verifications)
+		diag.Located, diag.Root, diag.Stats.Verifications)
 	if diag.Located {
 		fmt.Printf("root cause:        %s\n", p.StatementText(diag.Root.Stmt))
 	}

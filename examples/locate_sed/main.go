@@ -64,7 +64,7 @@ func main() {
 	fmt.Print(diag.Explain())
 
 	fmt.Printf("\nThe %d expansion iterations correspond to the two chained omissions:\n",
-		diag.Iterations)
+		diag.Stats.Iterations)
 	fmt.Println("  iteration 1: print(status) --sid--> if (markEnd > 0)")
 	fmt.Println("  iteration 2: if (markEnd > 0) --sid--> if (gflag > 0) --dd--> the zeroed g flag")
 }

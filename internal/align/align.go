@@ -28,19 +28,28 @@ import (
 // Precondition: u is not inside p's own region (the demand-driven
 // algorithm only verifies uses that are not control dependent on p).
 func Match(e, ePrime *trace.Trace, p trace.Instance, u int) (int, bool) {
+	idx, ok, _ := MatchCounted(e, ePrime, p, u)
+	return idx, ok
+}
+
+// MatchCounted is Match plus a work measure: regions is the number of
+// region steps the alignment walked (climbs plus lockstep subregion
+// visits). It is a pure function of the two traces, so the count is
+// deterministic and can be aggregated by callers for observability.
+func MatchCounted(e, ePrime *trace.Trace, p trace.Instance, u int) (idx int, ok bool, regions int) {
 	pIdx := e.FindInstance(p)
 	pIdxP := ePrime.FindInstance(p)
 	if pIdx < 0 || pIdxP < 0 {
-		return 0, false
+		return 0, false, 0
 	}
 	if u == pIdx {
-		return pIdxP, true
+		return pIdxP, true, 0
 	}
 	// A point that is a region ancestor of p began before the divergence;
 	// by prefix identity it matches its own instance.
 	if e.Ancestry().IsAncestor(u, pIdx) {
 		m := ePrime.FindInstance(e.At(u).Inst)
-		return m, m >= 0
+		return m, m >= 0, 0
 	}
 
 	// r = Region(p); climb until u is inside. The ancestor chains of p in
@@ -54,6 +63,7 @@ func Match(e, ePrime *trace.Trace, p trace.Instance, u int) (int, bool) {
 			break
 		}
 		r = r.Parent()
+		regions++
 	}
 	var rp region.Region
 	if r.IsRoot() {
@@ -61,49 +71,53 @@ func Match(e, ePrime *trace.Trace, p trace.Instance, u int) (int, bool) {
 	} else {
 		hp := ePrime.FindInstance(r.HeadInstance())
 		if hp < 0 {
-			return 0, false
+			return 0, false, regions
 		}
 		rp = region.Region{T: ePrime, Head: hp}
 	}
-	return matchInsideRegion(r, u, rp)
+	idx, ok, walked := matchInsideRegion(r, u, rp)
+	return idx, ok, regions + walked
 }
 
 // matchInsideRegion mirrors the paper's MatchInsideRegion(R, u, R'):
 // walk the immediate subregions of R and R' in lockstep until the
 // subregion containing u is found, then either return its counterpart's
 // head (if u heads the subregion) or recurse after checking that the two
-// heads took the same branch.
-func matchInsideRegion(r region.Region, u int, rp region.Region) (int, bool) {
+// heads took the same branch. regions counts subregion visits.
+func matchInsideRegion(r region.Region, u int, rp region.Region) (idx int, found bool, regions int) {
 	sub, ok := r.FirstSub()
 	if !ok {
-		return 0, false // u is in R but R has no subregions: impossible
+		return 0, false, 0 // u is in R but R has no subregions: impossible
 	}
 	subP, okP := rp.FirstSub()
 	if !okP {
-		return 0, false // line 16: different exit, counterpart empty
+		return 0, false, 0 // line 16: different exit, counterpart empty
 	}
+	regions = 1
 	for !sub.Contains(u) {
 		sub, ok = sub.Sibling()
 		if !ok {
-			return 0, false
+			return 0, false, regions
 		}
 		subP, okP = subP.Sibling()
 		if !okP {
-			return 0, false // line 20: single-entry-multiple-exit case (Fig. 3)
+			return 0, false, regions // line 20: single-entry-multiple-exit case (Fig. 3)
 		}
+		regions++
 	}
 	// The lockstep counterpart must be an instance of the same statement;
 	// otherwise the executions structurally diverged before u.
 	if sub.HeadStmt() != subP.HeadStmt() {
-		return 0, false
+		return 0, false, regions
 	}
 	if sub.Head == u {
-		return subP.Head, true // line 22: FirstStmt(r) == u
+		return subP.Head, true, regions // line 22: FirstStmt(r) == u
 	}
 	if sub.Branch() != subP.Branch() {
-		return 0, false // line 23: switching altered a governing branch
+		return 0, false, regions // line 23: switching altered a governing branch
 	}
-	return matchInsideRegion(sub, u, subP)
+	idx, found, walked := matchInsideRegion(sub, u, subP)
+	return idx, found, regions + walked
 }
 
 // MatchInstance is a convenience wrapper that matches the instance at

@@ -51,12 +51,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"eol/internal/check"
 	"eol/internal/confidence"
 	"eol/internal/ddg"
 	"eol/internal/implicit"
 	"eol/internal/interp"
+	"eol/internal/obs"
 	"eol/internal/slicing"
 	"eol/internal/trace"
 	"eol/internal/verifyengine"
@@ -145,10 +147,16 @@ type Spec struct {
 	// (check.SwitchFilter), which proves some verifications NOT_ID from
 	// the failing trace alone and answers them without a switched
 	// re-execution. The filter never changes verdicts, counters or the
-	// VerifyLog — only VerifyStats.Runs and StaticSkips — so it is on
+	// VerifyLog — only Stats.SwitchedRuns and StaticSkips — so it is on
 	// by default; this flag exists for A/B comparison and debugging.
 	// The filter is unsound under PathMode and is force-disabled there.
 	NoStaticSkip bool
+	// Observer, if non-nil, receives the run's observability stream:
+	// spans for each localization phase, counter deltas and final stats
+	// gauges (see internal/obs and docs/OBSERVABILITY.md). For a fixed
+	// cache/skip-filter configuration the stream is byte-identical for
+	// any VerifyWorkers value.
+	Observer obs.Observer
 }
 
 // Report is the outcome of LocateFault, carrying the Table 3 counters.
@@ -159,11 +167,10 @@ type Report struct {
 	// RootEntry is the trace index of the located root-cause instance.
 	RootEntry int
 
-	// Counters, in the paper's Table 3 terms.
-	UserPrunings  int
-	Verifications int
-	Iterations    int
-	ExpandedEdges int
+	// Stats aggregates the run's counters: the paper's Table 3 terms
+	// (UserPrunings, Verifications, Iterations, ExpandedEdges) plus the
+	// verification engine's scheduling and cache counters.
+	Stats obs.Stats
 
 	// IPS is the final pruned expanded slice (instances with confidence
 	// < 1 in the wrong output's expanded slice). IPSEntries is ranked
@@ -179,10 +186,6 @@ type Report struct {
 
 	// VerifyLog records every verification performed, in order.
 	VerifyLog []implicit.LogEntry
-
-	// VerifyStats reports the verification engine's scheduling and
-	// switched-run-cache counters for this run.
-	VerifyStats verifyengine.Stats
 
 	// Trace and Graph expose the analyzed execution for reporting.
 	Trace *trace.Trace
@@ -207,18 +210,26 @@ func Locate(spec *Spec) (*Report, error) {
 		maxIter = 10
 	}
 
+	rec := obs.NewRecorder(spec.Observer)
+	rec.Begin("locate")
+
 	// The failing run ("Graph" construction in Table 4 terms).
-	run := interp.Run(spec.Program, interp.Options{Input: spec.Input, BuildTrace: true})
+	rec.Begin("failing_run")
+	run := interp.Run(spec.Program, interp.Options{Input: spec.Input, BuildTrace: true, Rec: rec})
+	rec.End("failing_run", int64(run.Steps))
 	if run.Err != nil {
+		rec.End("locate", 0)
 		return nil, fmt.Errorf("failing run aborted: %w", run.Err)
 	}
 	tr := run.Trace
 
 	seq, missing, ok := slicing.FirstWrongOutput(run.OutputValues(), spec.Expected)
 	if !ok {
+		rec.End("locate", 0)
 		return nil, ErrNoFailure
 	}
 	if missing {
+		rec.End("locate", 0)
 		return nil, ErrMissingOutput
 	}
 	wrong := *tr.OutputAt(seq)
@@ -236,20 +247,24 @@ func Locate(spec *Spec) (*Report, error) {
 		vexp = spec.Expected[seq]
 	}
 
+	rec.Begin("slicing")
 	g := ddg.New(tr)
 	cx := slicing.NewContext(spec.Program, tr)
 	cx.CrossFunction = spec.CrossFunctionPD
 	an := confidence.New(spec.Program, g, spec.Profile, correct, wrong)
+	rec.End("slicing", int64(tr.Len()))
 	ver := &implicit.Verifier{
 		C: spec.Program, Input: spec.Input, Orig: tr,
 		WrongOut: wrong, Vexp: vexp, HasVexp: hasVexp,
 		PathMode: spec.PathMode, BudgetFactor: spec.BudgetFactor,
+		Rec: rec,
 	}
 
 	engCfg := verifyengine.Config{
 		Workers:   spec.VerifyWorkers,
 		CacheSize: spec.VerifyCacheSize,
 		Cache:     spec.VerifyCache,
+		Rec:       rec,
 	}
 	// Static skip-filter: answers provably-NOT_ID verifications without a
 	// switched run. Unsound under PathMode (taint through allowed suffix
@@ -266,7 +281,7 @@ func Locate(spec *Spec) (*Report, error) {
 	rep := &Report{WrongOutput: wrong, Vexp: vexp, Trace: tr, Graph: g}
 
 	l := &locator{spec: spec, cx: cx, an: an, ver: ver, eng: eng, rep: rep,
-		pdCache: map[int][]slicing.PDep{}, judged: map[int]bool{}}
+		rec: rec, pdCache: map[int][]slicing.PDep{}, judged: map[int]bool{}}
 
 	// Initial PruneSlicing (Algorithm 2 line 3).
 	l.pruneSlicing()
@@ -276,6 +291,7 @@ func Locate(spec *Spec) (*Report, error) {
 		if l.rootInCandidates() {
 			break
 		}
+		rec.Begin("iteration", "n", strconv.Itoa(iter+1))
 		added := false
 		// Select uses u from PS by rank until one yields edges
 		// (Algorithm 2 lines 5-18).
@@ -293,16 +309,35 @@ func Locate(spec *Spec) (*Report, error) {
 			added = l.perturbFallback()
 		}
 		if !added {
+			rec.End("iteration", 0)
 			break // no unexpanded candidates produced edges: give up
 		}
-		rep.Iterations++
+		rep.Stats.Iterations++
 		l.pruneSlicing() // Algorithm 2 line 19
+		rec.End("iteration", 1)
 	}
 
 	l.finish()
-	rep.Verifications = ver.Verifications
+	rep.Stats.Verifications = ver.Verifications
 	rep.VerifyLog = ver.Log
-	rep.VerifyStats = eng.Stats()
+	es := eng.Stats()
+	rep.Stats.SwitchedRuns = es.Runs
+	rep.Stats.CacheHits = es.CacheHits
+	rep.Stats.CacheMisses = es.CacheMisses
+	rep.Stats.CacheEvictions = es.CacheEvictions
+	rep.Stats.StaticSkips = es.StaticSkips
+	rep.Stats.AlignedRegions = es.AlignedRegions
+	rep.Stats.StrongEdges = g.NumExtraEdges(ddg.StrongImplicit)
+	rep.Stats.ImplicitEdges = g.NumExtraEdges(ddg.Implicit)
+	var located int64
+	if rep.Located {
+		located = 1
+	}
+	rep.Stats.Emit(rec)
+	if rec.Enabled() {
+		rec.Gauge("located", located)
+	}
+	rec.End("locate", located)
 	return rep, nil
 }
 
@@ -313,6 +348,7 @@ type locator struct {
 	ver     *implicit.Verifier
 	eng     *verifyengine.Engine
 	rep     *Report
+	rec     *obs.Recorder
 	pdCache map[int][]slicing.PDep
 	judged  map[int]bool // entries already answered "corrupted" by the user
 
@@ -333,6 +369,7 @@ func (l *locator) pd(entry int) []slicing.PDep {
 // answers are remembered. It stops when every candidate is judged
 // corrupted.
 func (l *locator) pruneSlicing() {
+	l.rec.Begin("confidence")
 	l.an.Compute()
 	for {
 		repeat := false
@@ -341,7 +378,8 @@ func (l *locator) pruneSlicing() {
 				continue
 			}
 			if l.spec.Oracle.IsBenign(l.cx.T, cand.Entry) {
-				l.rep.UserPrunings++
+				l.rep.Stats.UserPrunings++
+				l.rec.Count("pruned_entries", 1)
 				l.an.MarkBenign(cand.Entry)
 				l.an.Compute()
 				repeat = true
@@ -350,6 +388,7 @@ func (l *locator) pruneSlicing() {
 			l.judged[cand.Entry] = true
 		}
 		if !repeat {
+			l.rec.End("confidence", int64(len(l.an.FaultCandidates())))
 			return
 		}
 	}
@@ -414,7 +453,7 @@ func (l *locator) expand(u int) bool {
 	added := false
 	for _, pd := range group {
 		l.rep.Graph.AddEdge(u, pd.Pred, kind)
-		l.rep.ExpandedEdges++
+		l.rep.Stats.ExpandedEdges++
 		added = true
 		var sibReqs []implicit.Request
 		var sibUse []int
@@ -432,7 +471,7 @@ func (l *locator) expand(u int) bool {
 		for i, v := range l.eng.VerifyBatch(sibReqs) {
 			if v == verdict {
 				l.rep.Graph.AddEdge(sibUse[i], pd.Pred, kind)
-				l.rep.ExpandedEdges++
+				l.rep.Stats.ExpandedEdges++
 			}
 		}
 	}

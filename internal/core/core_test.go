@@ -52,20 +52,20 @@ func TestFig1Locate(t *testing.T) {
 	}
 	if !rep.Located {
 		t.Fatalf("root cause not located; IPS=%v prunings=%d verifs=%d iters=%d edges=%d",
-			rep.IPS, rep.UserPrunings, rep.Verifications, rep.Iterations, rep.ExpandedEdges)
+			rep.IPS, rep.Stats.UserPrunings, rep.Stats.Verifications, rep.Stats.Iterations, rep.Stats.ExpandedEdges)
 	}
 	root := testsupport.StmtID(t, c, "read() * 0")
 	if got := rep.Trace.At(rep.RootEntry).Inst.Stmt; got != root {
 		t.Errorf("located S%d, want S%d", got, root)
 	}
-	if rep.Iterations != 1 {
-		t.Errorf("iterations = %d, want 1 (paper: gzip expands once)", rep.Iterations)
+	if rep.Stats.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1 (paper: gzip expands once)", rep.Stats.Iterations)
 	}
-	if rep.ExpandedEdges < 1 {
-		t.Errorf("expanded edges = %d, want ≥1", rep.ExpandedEdges)
+	if rep.Stats.ExpandedEdges < 1 {
+		t.Errorf("expanded edges = %d, want ≥1", rep.Stats.ExpandedEdges)
 	}
-	if rep.Verifications < 1 || rep.Verifications > 20 {
-		t.Errorf("verifications = %d, want a small number", rep.Verifications)
+	if rep.Stats.Verifications < 1 || rep.Stats.Verifications > 20 {
+		t.Errorf("verifications = %d, want a small number", rep.Stats.Verifications)
 	}
 	// The added edge must be STRONG (switching S4 repairs the output).
 	if n := rep.Graph.NumExtraEdges(ddg.StrongImplicit); n < 1 {
@@ -165,9 +165,9 @@ func main() {
 	if !rep.Located {
 		t.Fatal("explicit error not located")
 	}
-	if rep.Iterations != 0 || rep.Verifications != 0 {
+	if rep.Stats.Iterations != 0 || rep.Stats.Verifications != 0 {
 		t.Errorf("explicit error should need no expansion: iters=%d verifs=%d",
-			rep.Iterations, rep.Verifications)
+			rep.Stats.Iterations, rep.Stats.Verifications)
 	}
 }
 

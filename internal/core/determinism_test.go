@@ -58,13 +58,13 @@ func assertSameOutcome(t *testing.T, label string, want, got *core.Report) {
 		t.Errorf("%s: located %v@%d, want %v@%d",
 			label, got.Located, got.RootEntry, want.Located, want.RootEntry)
 	}
-	if got.UserPrunings != want.UserPrunings ||
-		got.Verifications != want.Verifications ||
-		got.Iterations != want.Iterations ||
-		got.ExpandedEdges != want.ExpandedEdges {
+	if got.Stats.UserPrunings != want.Stats.UserPrunings ||
+		got.Stats.Verifications != want.Stats.Verifications ||
+		got.Stats.Iterations != want.Stats.Iterations ||
+		got.Stats.ExpandedEdges != want.Stats.ExpandedEdges {
 		t.Errorf("%s: counters (%d %d %d %d), want (%d %d %d %d)", label,
-			got.UserPrunings, got.Verifications, got.Iterations, got.ExpandedEdges,
-			want.UserPrunings, want.Verifications, want.Iterations, want.ExpandedEdges)
+			got.Stats.UserPrunings, got.Stats.Verifications, got.Stats.Iterations, got.Stats.ExpandedEdges,
+			want.Stats.UserPrunings, want.Stats.Verifications, want.Stats.Iterations, want.Stats.ExpandedEdges)
 	}
 	if !reflect.DeepEqual(got.VerifyLog, want.VerifyLog) {
 		t.Errorf("%s: VerifyLog diverged\n got: %v\nwant: %v", label, got.VerifyLog, want.VerifyLog)
@@ -120,11 +120,11 @@ func TestDeterminismStaticSkip(t *testing.T) {
 		want := locateConfigured(t, specOff, 1, -1)
 		got := locateConfigured(t, p.Spec(), 1, -1)
 		assertSameOutcome(t, name+"/skip-on", want, got)
-		if s := got.VerifyStats.StaticSkips; s > 0 {
+		if s := got.Stats.StaticSkips; s > 0 {
 			skips += s
-			if got.VerifyStats.Runs+s != want.VerifyStats.Runs {
+			if got.Stats.SwitchedRuns+s != want.Stats.SwitchedRuns {
 				t.Errorf("%s: %d runs + %d skips, want %d runs without the filter",
-					name, got.VerifyStats.Runs, s, want.VerifyStats.Runs)
+					name, got.Stats.SwitchedRuns, s, want.Stats.SwitchedRuns)
 			}
 		}
 	}

@@ -43,7 +43,7 @@ func (l *locator) perturbFallback() bool {
 				})
 				if res.Dependent {
 					l.rep.Graph.AddEdge(u, use.Def, ddg.Implicit)
-					l.rep.ExpandedEdges++
+					l.rep.Stats.ExpandedEdges++
 					added = true
 				}
 			}

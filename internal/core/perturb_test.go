@@ -68,12 +68,12 @@ func TestTable5bPerturbationLocates(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !rep.Located {
-		t.Fatalf("perturbation fallback failed; IPS=%v verifs=%d", rep.IPS, rep.Verifications)
+		t.Fatalf("perturbation fallback failed; IPS=%v verifs=%d", rep.IPS, rep.Stats.Verifications)
 	}
 	if got := rep.Trace.At(rep.RootEntry).Inst.Stmt; got != spec.RootCause[0] {
 		t.Errorf("located S%d, want S%d", got, spec.RootCause[0])
 	}
-	if rep.ExpandedEdges < 1 {
+	if rep.Stats.ExpandedEdges < 1 {
 		t.Error("no edges added by the fallback")
 	}
 }
@@ -102,9 +102,9 @@ func TestPerturbFallbackNotUsedWhenSwitchingSuffices(t *testing.T) {
 	if !without.Located || !with.Located {
 		t.Fatal("both runs should locate")
 	}
-	if with.Verifications != without.Verifications {
+	if with.Stats.Verifications != without.Stats.Verifications {
 		t.Errorf("fallback changed verification count: %d vs %d",
-			with.Verifications, without.Verifications)
+			with.Stats.Verifications, without.Stats.Verifications)
 	}
 }
 
@@ -168,7 +168,7 @@ func main() {
 		t.Fatal(err)
 	}
 	if !rep.Located {
-		t.Fatalf("cross-function PD failed to locate; IPS=%v verifs=%d", rep.IPS, rep.Verifications)
+		t.Fatalf("cross-function PD failed to locate; IPS=%v verifs=%d", rep.IPS, rep.Stats.Verifications)
 	}
 	if got := rep.Trace.At(rep.RootEntry).Inst.Stmt; got != root {
 		t.Errorf("located S%d, want S%d", got, root)

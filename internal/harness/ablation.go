@@ -123,10 +123,10 @@ func AblationB() ([]AblationBRow, error) {
 		}
 		rows = append(rows, AblationBRow{
 			Case:              c.Name(),
-			EdgeVerifications: edgeRep.Verifications,
-			PathVerifications: pathRep.Verifications,
-			EdgeIterations:    edgeRep.Iterations,
-			PathIterations:    pathRep.Iterations,
+			EdgeVerifications: edgeRep.Stats.Verifications,
+			PathVerifications: pathRep.Stats.Verifications,
+			EdgeIterations:    edgeRep.Stats.Iterations,
+			PathIterations:    pathRep.Stats.Iterations,
 			EdgeLocated:       edgeRep.Located,
 			PathLocated:       pathRep.Located,
 		})
@@ -165,7 +165,7 @@ func AblationC() ([]AblationCRow, error) {
 			critpred.Options{Strategy: critpred.Prior})
 		rows = append(rows, AblationCRow{
 			Case:          c.Name(),
-			LocatorVerifs: rep.Verifications,
+			LocatorVerifs: rep.Stats.Verifications,
 			CritSwitches:  res.Switches,
 			CritFound:     res.Found,
 			CritNamesRoot: res.Found && res.Critical.Stmt == p.RootStmt,

@@ -46,6 +46,7 @@ import (
 	"eol/internal/core"
 	"eol/internal/ddg"
 	"eol/internal/interp"
+	"eol/internal/obs"
 	"eol/internal/oracle"
 	"eol/internal/slicing"
 	"eol/internal/trace"
@@ -190,14 +191,14 @@ type Table3Row struct {
 }
 
 // Table3 runs the demand-driven locator on every case.
-func Table3() ([]Table3Row, error) {
+func Table3(o obs.Observer) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, c := range bench.Cases() {
 		p, err := c.Prepare()
 		if err != nil {
 			return nil, err
 		}
-		row, err := Table3Case(p)
+		row, err := Table3Case(p, o)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.Name(), err)
 		}
@@ -206,19 +207,22 @@ func Table3() ([]Table3Row, error) {
 	return rows, nil
 }
 
-// Table3Case runs localization for one prepared case.
-func Table3Case(p *bench.Prepared) (*Table3Row, error) {
-	rep, err := core.Locate(p.Spec())
+// Table3Case runs localization for one prepared case, streaming events
+// to o when non-nil.
+func Table3Case(p *bench.Prepared, o obs.Observer) (*Table3Row, error) {
+	spec := p.Spec()
+	spec.Observer = o
+	rep, err := core.Locate(spec)
 	if err != nil {
 		return nil, err
 	}
 	osStats := failureChain(p, rep)
 	return &Table3Row{
 		Case:          p.Case.Name(),
-		UserPrunings:  rep.UserPrunings,
-		Verifications: rep.Verifications,
-		Iterations:    rep.Iterations,
-		ExpandedEdges: rep.ExpandedEdges,
+		UserPrunings:  rep.Stats.UserPrunings,
+		Verifications: rep.Stats.Verifications,
+		Iterations:    rep.Stats.Iterations,
+		ExpandedEdges: rep.Stats.ExpandedEdges,
 		IPS:           rep.IPS,
 		OS:            osStats,
 		Located:       rep.Located,
@@ -375,13 +379,30 @@ func WriteTable4(w io.Writer, rows []Table4Row) {
 	}
 }
 
+// Options parameterizes Render and the table builders that run whole
+// localizations. The zero value reproduces the historical defaults.
+type Options struct {
+	// Reps is the timing repetitions for tables 4 and verify (0 = default).
+	Reps int
+	// Workers is the worker-pool size for the verify table's parallel
+	// and cached modes (0 = default 4).
+	Workers int
+	// Cache overrides the cached mode's switched-run cache size
+	// (0 = engine default, negative disables it).
+	Cache int
+	// Observer, if non-nil, observes the Table 3 localizations and the
+	// verify table's warm-up round. Timed rounds always run unobserved
+	// so observation never perturbs the measurements.
+	Observer obs.Observer
+}
+
 // Render runs and renders the requested table ("1".."4", or "verify"
 // for the verification-engine throughput comparison) into a string.
-func Render(table string, reps int) (string, error) {
+func Render(table string, opt Options) (string, error) {
 	var sb strings.Builder
 	switch table {
 	case "verify", "5":
-		rows, err := VerifyTable(4, reps)
+		rows, err := VerifyTable(opt)
 		if err != nil {
 			return "", err
 		}
@@ -395,13 +416,13 @@ func Render(table string, reps int) (string, error) {
 		}
 		WriteTable2(&sb, rows)
 	case "3":
-		rows, err := Table3()
+		rows, err := Table3(opt.Observer)
 		if err != nil {
 			return "", err
 		}
 		WriteTable3(&sb, rows)
 	case "4":
-		rows, err := Table4(reps)
+		rows, err := Table4(opt.Reps)
 		if err != nil {
 			return "", err
 		}

@@ -71,7 +71,7 @@ func TestTable2Claims(t *testing.T) {
 // locator captures every error; verifications, iterations and expanded
 // edges stay small; IPS is close to OS.
 func TestTable3Claims(t *testing.T) {
-	rows, err := Table3()
+	rows, err := Table3(nil)
 	if err != nil {
 		t.Fatalf("Table3: %v", err)
 	}
@@ -148,14 +148,14 @@ func TestTable4Claims(t *testing.T) {
 }
 
 func TestRender(t *testing.T) {
-	out, err := Render("1", 1)
+	out, err := Render("1", Options{Reps: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "flexsim") || !strings.Contains(out, "Table 1") {
 		t.Errorf("unexpected render:\n%s", out)
 	}
-	if _, err := Render("9", 1); err == nil {
+	if _, err := Render("9", Options{Reps: 1}); err == nil {
 		t.Error("unknown table must error")
 	}
 }

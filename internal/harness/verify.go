@@ -37,7 +37,10 @@ type VerifyRow struct {
 // min-of-reps per mode, interleaved against scheduler noise. It fails if
 // the three modes disagree on any reproducibility-relevant Report field —
 // the harness-level enforcement of the engine's determinism contract.
-func VerifyCase(p *bench.Prepared, workers, reps int) (*VerifyRow, error) {
+// opt.Observer, when non-nil, sees the warm-up round only: the timed
+// rounds always run unobserved.
+func VerifyCase(p *bench.Prepared, opt Options) (*VerifyRow, error) {
+	workers, reps := opt.Workers, opt.Reps
 	if workers <= 0 {
 		workers = 4
 	}
@@ -50,7 +53,7 @@ func VerifyCase(p *bench.Prepared, workers, reps int) (*VerifyRow, error) {
 	}{
 		{"sequential", 1, -1},
 		{"parallel", workers, -1},
-		{"cached", workers, 0},
+		{"cached", workers, opt.Cache},
 	}
 
 	best := make([]time.Duration, len(modes))
@@ -63,6 +66,9 @@ func VerifyCase(p *bench.Prepared, workers, reps int) (*VerifyRow, error) {
 			spec := p.Spec()
 			spec.VerifyWorkers = m.workers
 			spec.VerifyCacheSize = m.cacheSz
+			if r == 0 {
+				spec.Observer = opt.Observer
+			}
 			start := time.Now()
 			rep, err := core.Locate(spec)
 			d := time.Since(start)
@@ -87,16 +93,16 @@ func VerifyCase(p *bench.Prepared, workers, reps int) (*VerifyRow, error) {
 		}
 	}
 
-	stats := reports[2].VerifyStats
+	stats := reports[2].Stats
 	row := &VerifyRow{
 		Case:          p.Case.Name(),
 		Sequential:    best[0],
 		Parallel:      best[1],
 		Cached:        best[2],
-		HitRate:       stats.HitRate(),
-		Runs:          stats.Runs,
+		HitRate:       stats.CacheHitRate(),
+		Runs:          stats.SwitchedRuns,
 		Saved:         stats.CacheHits,
-		Verifications: reports[0].Verifications,
+		Verifications: reports[0].Stats.Verifications,
 	}
 	if best[1] > 0 {
 		row.SpeedupPar = float64(best[0]) / float64(best[1])
@@ -112,10 +118,10 @@ func sameOutcome(a, b *core.Report) error {
 	switch {
 	case a.Located != b.Located || a.RootEntry != b.RootEntry:
 		return fmt.Errorf("location %v@%d vs %v@%d", a.Located, a.RootEntry, b.Located, b.RootEntry)
-	case a.Verifications != b.Verifications:
-		return fmt.Errorf("verifications %d vs %d", a.Verifications, b.Verifications)
-	case a.UserPrunings != b.UserPrunings || a.Iterations != b.Iterations ||
-		a.ExpandedEdges != b.ExpandedEdges:
+	case a.Stats.Verifications != b.Stats.Verifications:
+		return fmt.Errorf("verifications %d vs %d", a.Stats.Verifications, b.Stats.Verifications)
+	case a.Stats.UserPrunings != b.Stats.UserPrunings || a.Stats.Iterations != b.Stats.Iterations ||
+		a.Stats.ExpandedEdges != b.Stats.ExpandedEdges:
 		return fmt.Errorf("counters differ")
 	case !reflect.DeepEqual(a.VerifyLog, b.VerifyLog):
 		return fmt.Errorf("verify log order differs")
@@ -124,14 +130,14 @@ func sameOutcome(a, b *core.Report) error {
 }
 
 // VerifyTable runs VerifyCase over every benchmark case.
-func VerifyTable(workers, reps int) ([]VerifyRow, error) {
+func VerifyTable(opt Options) ([]VerifyRow, error) {
 	var rows []VerifyRow
 	for _, c := range bench.Cases() {
 		p, err := c.Prepare()
 		if err != nil {
 			return nil, err
 		}
-		row, err := VerifyCase(p, workers, reps)
+		row, err := VerifyCase(p, opt)
 		if err != nil {
 			return nil, err
 		}

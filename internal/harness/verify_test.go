@@ -17,7 +17,7 @@ func TestVerifyCase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	row, err := VerifyCase(p, 4, 2)
+	row, err := VerifyCase(p, Options{Workers: 4, Reps: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,6 +29,7 @@ import (
 	"eol/internal/align"
 	"eol/internal/ddg"
 	"eol/internal/interp"
+	"eol/internal/obs"
 	"eol/internal/region"
 	"eol/internal/trace"
 )
@@ -87,6 +88,12 @@ type Verifier struct {
 	// where a scheduling/caching layer (internal/verifyengine) plugs in.
 	// When nil the interpreter is invoked inline.
 	Runner SwitchedRunner
+
+	// Rec, if non-nil, receives a "verdict" mark for every fresh
+	// verification recorded. It is only consulted from the sequential
+	// record path (Verify / Absorb on the base verifier) and is
+	// deliberately not copied by Clone, so worker goroutines never emit.
+	Rec *obs.Recorder
 
 	// Verifications counts the re-executions performed.
 	Verifications int
@@ -159,6 +166,10 @@ type Result struct {
 	UPrime   int            // matched use entry in E', -1 if none
 	OPrime   int            // matched wrong-output entry in E', -1 if none
 	OValue   int64          // value printed at o', if OPrime >= 0
+	// AlignRegions counts the region steps walked by the alignment
+	// algorithm for this verification — a pure function of the traces,
+	// so it is deterministic regardless of which worker computed it.
+	AlignRegions int
 }
 
 // Verify runs one verification re-execution and classifies the
@@ -194,11 +205,16 @@ func (v *Verifier) record(req Request, verdict Verdict) Verdict {
 	if v.memo == nil {
 		v.memo = map[MemoKey]Verdict{}
 	}
+	pred := v.Orig.At(req.Pred).Inst
+	use := v.Orig.At(req.Use).Inst
 	v.memo[v.MemoKey(req)] = verdict
 	v.Log = append(v.Log, LogEntry{
-		Pred: v.Orig.At(req.Pred).Inst, Use: v.Orig.At(req.Use).Inst,
-		Sym: req.UseSym, Verdict: verdict,
+		Pred: pred, Use: use, Sym: req.UseSym, Verdict: verdict,
 	})
+	if v.Rec.Enabled() {
+		v.Rec.Mark("verdict", int64(verdict),
+			"pred", pred.String(), "use", use.String(), "verdict", verdict.String())
+	}
 	return verdict
 }
 
@@ -263,7 +279,9 @@ func (v *Verifier) VerifyDetailed(req Request) *Result {
 	// Strong implicit dependence: the wrong output's counterpart carries
 	// the expected value (Definition 4 via Algorithm 2 lines 27-28).
 	if v.HasVexp && v.WrongOut.Entry >= 0 {
-		if o, ok := align.Match(v.Orig, ep, pe.Inst, v.WrongOut.Entry); ok {
+		o, ok, walked := align.MatchCounted(v.Orig, ep, pe.Inst, v.WrongOut.Entry)
+		res.AlignRegions += walked
+		if ok {
 			res.OPrime = o
 			for _, out := range ep.OutputsOf(o) {
 				if out.Arg == v.WrongOut.Arg {
@@ -278,7 +296,8 @@ func (v *Verifier) VerifyDetailed(req Request) *Result {
 	}
 
 	// u': condition (i) of Definition 2.
-	u, ok := align.Match(v.Orig, ep, pe.Inst, req.Use)
+	u, ok, walked := align.MatchCounted(v.Orig, ep, pe.Inst, req.Use)
+	res.AlignRegions += walked
 	if !ok {
 		res.Verdict = ID
 		return res

@@ -105,6 +105,14 @@ func (v *Verifier) PerturbVerify(req PerturbRequest) *PerturbResult {
 		Pred: de.Inst, Use: ue.Inst, Verdict: verdict,
 		Perturbed: true, Value: res.Witness,
 	})
+	if v.Rec.Enabled() {
+		// PerturbVerify runs only on the base verifier, sequentially, so
+		// emitting here preserves the stream's determinism.
+		v.Rec.Count("perturb_runs", int64(res.Reexecutions))
+		v.Rec.Mark("verdict", int64(verdict),
+			"def", de.Inst.String(), "use", ue.Inst.String(),
+			"verdict", verdict.String(), "perturbed", "true")
+	}
 	return res
 }
 

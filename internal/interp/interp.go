@@ -32,6 +32,7 @@ import (
 	"eol/internal/lang/parser"
 	"eol/internal/lang/sem"
 	"eol/internal/lang/token"
+	"eol/internal/obs"
 	"eol/internal/trace"
 )
 
@@ -113,6 +114,11 @@ type Options struct {
 	BuildTrace bool
 	// MaxFrames bounds activation depth; 0 means DefaultMaxFrames.
 	MaxFrames int
+	// Rec, if non-nil, brackets the run in an interp_run span whose End
+	// value is the executed step count. Callers that run the interpreter
+	// from worker goroutines (the verify engine) must leave it nil —
+	// observability for those runs is emitted at absorption instead.
+	Rec *obs.Recorder
 }
 
 // Default limits.
@@ -200,6 +206,14 @@ func Run(c *Compiled, opts Options) *Result {
 	if opts.BuildTrace {
 		ip.tr = trace.New()
 		ip.res.Trace = ip.tr
+	}
+	if opts.Rec.Enabled() {
+		mode := "plain"
+		if opts.BuildTrace {
+			mode = "trace"
+		}
+		opts.Rec.Begin("interp_run", "mode", mode)
+		defer func() { opts.Rec.End("interp_run", int64(ip.res.Steps)) }()
 	}
 	ip.run()
 	ip.res.Rendered = ip.out.String()

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Journal writes the event stream as JSON Lines: one Event object per
+// line, in stream order. Because events carry no timestamps, field
+// order is fixed by the struct, and attribute maps serialize with
+// sorted keys, the journal for a given configuration is byte-identical
+// across runs and across verification worker counts — it is the durable
+// form of the determinism contract.
+type Journal struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJournal returns a journal sink writing to w. Call Flush when the
+// run is done.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: bufio.NewWriter(w)}
+}
+
+// Event implements Observer. Encoding errors are sticky and reported by
+// Flush.
+func (j *Journal) Event(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.w.WriteByte('\n')
+}
+
+// Flush drains buffered output and returns the first error seen.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// ValidateJournal checks a JSONL journal against the schema: every line
+// a well-formed Event, sequence numbers contiguous from 1, kinds known,
+// names non-empty, and begin/end spans properly nested and balanced.
+func ValidateJournal(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var (
+		line  int
+		want  int64 = 1
+		stack []string
+	)
+	for sc.Scan() {
+		line++
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("journal line %d: %v", line, err)
+		}
+		if e.Seq != want {
+			return fmt.Errorf("journal line %d: seq %d, want %d", line, e.Seq, want)
+		}
+		want++
+		if !e.Kind.valid() {
+			return fmt.Errorf("journal line %d: unknown kind %q", line, e.Kind)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("journal line %d: empty name", line)
+		}
+		switch e.Kind {
+		case KindBegin:
+			stack = append(stack, e.Name)
+		case KindEnd:
+			if len(stack) == 0 {
+				return fmt.Errorf("journal line %d: end %q with no open span", line, e.Name)
+			}
+			top := stack[len(stack)-1]
+			if top != e.Name {
+				return fmt.Errorf("journal line %d: end %q, innermost open span is %q", line, e.Name, top)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("journal line %d: %v", line+1, err)
+	}
+	if line == 0 {
+		return fmt.Errorf("journal: empty")
+	}
+	if len(stack) > 0 {
+		return fmt.Errorf("journal: %d unclosed span(s), innermost %q", len(stack), stack[len(stack)-1])
+	}
+	return nil
+}

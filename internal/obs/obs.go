@@ -1,0 +1,163 @@
+// Package obs is the deterministic observability layer of the locator:
+// span events for each localization phase, monotonic counters and gauges
+// for the quantities that dominate a run's cost (switched re-executions,
+// cache hits, static skips, aligned regions, pruned entries), and
+// pluggable sinks (in-memory for tests, a human progress writer, a JSONL
+// run-journal writer).
+//
+// # Determinism contract
+//
+// The event stream is part of the locator's reproducibility surface: for
+// a fixed configuration (cache sizing, skip-filter setting) the stream —
+// sequence numbers, order, names, values, attributes — is byte-identical
+// for any verification worker count. Two rules make that hold:
+//
+//   - Events are only emitted from deterministic program points: the
+//     locator's planning loop, batch absorption (which replays worker
+//     results in request order), and sequential helpers. Worker
+//     goroutines never emit.
+//   - Events carry no wall-clock timestamps. Time is out-of-band: sinks
+//     that want it (the progress writer) attach their own clock at
+//     receipt, and the journal omits it entirely.
+//
+// Configuration that varies between otherwise-equivalent runs (the
+// worker count) is deliberately kept out of the stream.
+//
+// # Fast path
+//
+// Instrumented packages hold a *Recorder, which is nil when no observer
+// is attached. Every Recorder method is safe on a nil receiver and
+// returns immediately, so the uninstrumented hot path costs one pointer
+// test per site (see the overhead numbers in docs/OBSERVABILITY.md).
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind classifies an Event.
+type Kind string
+
+// Event kinds. Begin/End bracket a span; Count is a monotonic counter
+// increment; Gauge is a point-in-time value; Mark is a single
+// occurrence (one verification verdict, one switched re-execution).
+const (
+	KindBegin Kind = "begin"
+	KindEnd   Kind = "end"
+	KindCount Kind = "count"
+	KindGauge Kind = "gauge"
+	KindMark  Kind = "mark"
+)
+
+// valid reports whether k is one of the defined kinds.
+func (k Kind) valid() bool {
+	switch k {
+	case KindBegin, KindEnd, KindCount, KindGauge, KindMark:
+		return true
+	}
+	return false
+}
+
+// Event is one record of a run's observability stream. See
+// docs/OBSERVABILITY.md for the event schema and the per-name meaning of
+// Value.
+type Event struct {
+	// Seq numbers events 1, 2, 3, ... within one recorder's stream.
+	Seq int64 `json:"seq"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Name is the span name (begin/end), counter or gauge name, or mark
+	// name.
+	Name string `json:"name"`
+	// Value is the counter delta, gauge value, mark payload, or span
+	// result (End only; Begin leaves it 0).
+	Value int64 `json:"value,omitempty"`
+	// Attrs carries small string attributes (predicate instance, verdict,
+	// iteration number). Serialized with sorted keys.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// String renders the event compactly (for test failures and logs).
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s %s=%d", e.Seq, e.Kind, e.Name, e.Value)
+	for _, k := range sortedKeys(e.Attrs) {
+		s += fmt.Sprintf(" %s=%s", k, e.Attrs[k])
+	}
+	return s
+}
+
+// Observer consumes one run's event stream. Calls are serialized by the
+// emitting Recorder; an Observer needs its own locking only if it is
+// shared across recorders.
+type Observer interface {
+	Event(Event)
+}
+
+// Recorder assigns sequence numbers and forwards events to one Observer.
+// The zero value of *Recorder (nil) is the disabled recorder: every
+// method is a no-op, which is the fast path instrumented code relies on.
+type Recorder struct {
+	mu  sync.Mutex
+	o   Observer
+	seq int64
+}
+
+// NewRecorder returns a recorder over o, or nil — the disabled recorder
+// — when o is nil.
+func NewRecorder(o Observer) *Recorder {
+	if o == nil {
+		return nil
+	}
+	return &Recorder{o: o}
+}
+
+// Enabled reports whether events are being recorded. Use it to guard
+// attribute construction that would otherwise burden the fast path.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// emit assigns the next sequence number and forwards the event.
+func (r *Recorder) emit(k Kind, name string, value int64, attrs []string) {
+	if r == nil {
+		return
+	}
+	var m map[string]string
+	if len(attrs) > 0 {
+		m = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			m[attrs[i]] = attrs[i+1]
+		}
+	}
+	r.mu.Lock()
+	r.seq++
+	e := Event{Seq: r.seq, Kind: k, Name: name, Value: value, Attrs: m}
+	r.o.Event(e)
+	r.mu.Unlock()
+}
+
+// Begin opens a span. attrs are alternating key, value pairs.
+func (r *Recorder) Begin(span string, attrs ...string) {
+	r.emit(KindBegin, span, 0, attrs)
+}
+
+// End closes the innermost open span with the given name, carrying a
+// span-specific result value.
+func (r *Recorder) End(span string, value int64, attrs ...string) {
+	r.emit(KindEnd, span, value, attrs)
+}
+
+// Count increments the named monotonic counter by delta.
+func (r *Recorder) Count(name string, delta int64) {
+	r.emit(KindCount, name, delta, nil)
+}
+
+// Gauge records a point-in-time value.
+func (r *Recorder) Gauge(name string, value int64) {
+	r.emit(KindGauge, name, value, nil)
+}
+
+// Mark records a single occurrence. attrs are alternating key, value
+// pairs.
+func (r *Recorder) Mark(name string, value int64, attrs ...string) {
+	r.emit(KindMark, name, value, attrs)
+}

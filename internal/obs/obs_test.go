@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderNoops(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports Enabled")
+	}
+	// None of these may panic.
+	r.Begin("span", "k", "v")
+	r.End("span", 1)
+	r.Count("c", 2)
+	r.Gauge("g", 3)
+	r.Mark("m", 4, "k", "v")
+}
+
+func TestNewRecorderNilObserver(t *testing.T) {
+	if NewRecorder(nil) != nil {
+		t.Fatal("NewRecorder(nil) should return the disabled (nil) recorder")
+	}
+}
+
+func TestRecorderSequencesAndAttrs(t *testing.T) {
+	var m Memory
+	r := NewRecorder(&m)
+	if !r.Enabled() {
+		t.Fatal("recorder with observer reports disabled")
+	}
+	r.Begin("locate", "subject", "fig1")
+	r.Count("pruned_entries", 3)
+	r.Gauge("located", 1)
+	r.Mark("verdict", 2, "pred", "S5#1", "use", "S9")
+	r.End("locate", 1)
+
+	evs := m.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != int64(i+1) {
+			t.Errorf("event %d: seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	if evs[0].Kind != KindBegin || evs[0].Attrs["subject"] != "fig1" {
+		t.Errorf("begin event malformed: %v", evs[0])
+	}
+	if evs[1].Kind != KindCount || evs[1].Value != 3 {
+		t.Errorf("count event malformed: %v", evs[1])
+	}
+	if evs[3].Attrs["pred"] != "S5#1" || evs[3].Attrs["use"] != "S9" {
+		t.Errorf("mark attrs malformed: %v", evs[3])
+	}
+	want := "#4 mark verdict=2 pred=S5#1 use=S9"
+	if got := evs[3].String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Fatal("Tee of nothing should be nil")
+	}
+	var m Memory
+	if Tee(nil, &m) != Observer(&m) {
+		t.Fatal("Tee with one survivor should return it unwrapped")
+	}
+	var a, b Memory
+	r := NewRecorder(Tee(&a, nil, &b))
+	r.Count("c", 1)
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("tee fan-out failed: a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	r := NewRecorder(j)
+	r.Begin("locate")
+	r.Begin("verify_batch", "reqs", "4")
+	r.Mark("switched_run", 120, "pred", "S5#1")
+	r.Count("switched_runs", 1)
+	r.End("verify_batch", 4)
+	r.Gauge("located", 1)
+	r.End("locate", 1)
+	if err := j.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := ValidateJournal(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ValidateJournal: %v", err)
+	}
+	first, _, _ := strings.Cut(buf.String(), "\n")
+	want := `{"seq":1,"kind":"begin","name":"locate"}`
+	if first != want {
+		t.Errorf("first journal line = %s, want %s", first, want)
+	}
+}
+
+func TestValidateJournalRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "empty"},
+		{"bad json", "not json\n", "line 1"},
+		{"seq gap", `{"seq":2,"kind":"count","name":"c"}` + "\n", "seq 2, want 1"},
+		{"unknown kind", `{"seq":1,"kind":"blip","name":"c"}` + "\n", "unknown kind"},
+		{"empty name", `{"seq":1,"kind":"count","name":""}` + "\n", "empty name"},
+		{"stray end", `{"seq":1,"kind":"end","name":"s"}` + "\n", "no open span"},
+		{"mismatched end", `{"seq":1,"kind":"begin","name":"a"}` + "\n" +
+			`{"seq":2,"kind":"end","name":"b"}` + "\n", "innermost open span"},
+		{"unclosed span", `{"seq":1,"kind":"begin","name":"a"}` + "\n", "unclosed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateJournal(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestProgressSink(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	base := time.Unix(0, 0)
+	p.now = func() time.Time {
+		base = base.Add(time.Millisecond)
+		return base
+	}
+	r := NewRecorder(p)
+	r.Begin("locate")
+	r.Begin("verify_batch", "reqs", "2")
+	r.Mark("switched_run", 10)
+	r.Count("cache_hits", 1)
+	r.End("verify_batch", 2)
+	r.Gauge("located", 1)
+	r.End("locate", 1)
+
+	out := buf.String()
+	for _, want := range []string{
+		"> locate",
+		"  > verify_batch reqs=2",
+		"  < verify_batch (1ms) cache_hits=1 switched_run=1",
+		"  = located 1",
+		"< locate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsCacheHitRate(t *testing.T) {
+	var s Stats
+	if got := s.CacheHitRate(); got != 0 {
+		t.Fatalf("empty hit rate = %v, want 0", got)
+	}
+	s.CacheHits, s.CacheMisses = 3, 1
+	if got := s.CacheHitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}
+
+func TestStatsEmit(t *testing.T) {
+	var m Memory
+	r := NewRecorder(&m)
+	s := Stats{UserPrunings: 2, SwitchedRuns: 7}
+	s.Emit(r)
+	evs := m.Events()
+	if len(evs) != len(statGauges) {
+		t.Fatalf("emitted %d gauges, want %d", len(evs), len(statGauges))
+	}
+	if evs[0].Name != "user_prunings" || evs[0].Value != 2 {
+		t.Errorf("first gauge = %v", evs[0])
+	}
+	// Zero-valued fields still emit, so gauge presence is config-independent.
+	var seen int
+	for _, e := range evs {
+		if e.Kind != KindGauge {
+			t.Errorf("non-gauge event from Emit: %v", e)
+		}
+		if e.Name == "verifications" && e.Value == 0 {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Errorf("zero-valued gauge not emitted")
+	}
+	// Nil recorder: no panic.
+	s.Emit(nil)
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Memory is an in-memory Observer for tests: it retains every event in
+// arrival order. Safe for concurrent use.
+type Memory struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event implements Observer.
+func (m *Memory) Event(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the retained events.
+func (m *Memory) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Len returns the number of retained events.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// Progress renders a human-readable live view of a run: span begins and
+// ends (indented by nesting depth, with elapsed time measured by the
+// sink's own clock — time never rides inside events) and final gauges.
+// Counts and marks are summarized at each span end rather than printed
+// individually, so the output stays readable on large subjects.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	now   func() time.Time
+	stack []progressFrame
+}
+
+type progressFrame struct {
+	name  string
+	start time.Time
+	// counts accumulates Count deltas and Mark occurrences seen while
+	// this frame is innermost.
+	counts map[string]int64
+}
+
+// NewProgress returns a progress sink writing to w.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, now: time.Now}
+}
+
+// Event implements Observer.
+func (p *Progress) Event(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Kind {
+	case KindBegin:
+		fmt.Fprintf(p.w, "%s> %s%s\n", p.indent(), e.Name, attrSuffix(e.Attrs))
+		p.stack = append(p.stack, progressFrame{name: e.Name, start: p.now(), counts: map[string]int64{}})
+	case KindEnd:
+		if n := len(p.stack); n > 0 && p.stack[n-1].name == e.Name {
+			fr := p.stack[n-1]
+			p.stack = p.stack[:n-1]
+			fmt.Fprintf(p.w, "%s< %s (%v)%s%s\n",
+				p.indent(), e.Name, p.now().Sub(fr.start).Round(time.Microsecond),
+				countSuffix(fr.counts), attrSuffix(e.Attrs))
+		} else {
+			fmt.Fprintf(p.w, "%s< %s%s\n", p.indent(), e.Name, attrSuffix(e.Attrs))
+		}
+	case KindCount, KindMark:
+		if n := len(p.stack); n > 0 {
+			if e.Kind == KindMark {
+				p.stack[n-1].counts[e.Name]++
+			} else {
+				p.stack[n-1].counts[e.Name] += e.Value
+			}
+		}
+	case KindGauge:
+		fmt.Fprintf(p.w, "%s= %s %d\n", p.indent(), e.Name, e.Value)
+	}
+}
+
+func (p *Progress) indent() string { return strings.Repeat("  ", len(p.stack)) }
+
+func countSuffix(counts map[string]int64) string {
+	if len(counts) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, k := range sortedKeys(counts) {
+		fmt.Fprintf(&b, " %s=%d", k, counts[k])
+	}
+	return b.String()
+}
+
+func attrSuffix(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, k := range sortedKeys(attrs) {
+		fmt.Fprintf(&b, " %s=%s", k, attrs[k])
+	}
+	return b.String()
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// tee fans one stream out to several observers.
+type tee struct{ os []Observer }
+
+// Tee returns an Observer that forwards each event to every non-nil
+// observer in order. Nil inputs are dropped; with zero or one survivor
+// it returns nil or the survivor itself.
+func Tee(os ...Observer) Observer {
+	kept := make([]Observer, 0, len(os))
+	for _, o := range os {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &tee{os: kept}
+}
+
+// Event implements Observer.
+func (t *tee) Event(e Event) {
+	for _, o := range t.os {
+		o.Event(e)
+	}
+}

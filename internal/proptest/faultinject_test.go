@@ -103,7 +103,7 @@ func TestRandomFaultInjection(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Locate crashed on injected fault:\n%s\nerror: %v", faultySrc, err)
 		}
-		if rep.Verifications < 0 || rep.Iterations < 0 || rep.IPS.Dynamic < 0 {
+		if rep.Stats.Verifications < 0 || rep.Stats.Iterations < 0 || rep.IPS.Dynamic < 0 {
 			t.Fatalf("insane counters: %+v", rep)
 		}
 		if rep.Located {

@@ -90,8 +90,8 @@ func WriteMarkdown(w io.Writer, in Input) error {
 	// Counters.
 	fmt.Fprintf(w, "## Effort\n\n")
 	fmt.Fprintf(w, "%d user prunings, %d verifications, %d expansion iterations, %d implicit edges added (%d strong).\n\n",
-		rep.UserPrunings, rep.Verifications, rep.Iterations,
-		rep.ExpandedEdges, rep.Graph.NumExtraEdges(ddg.StrongImplicit))
+		rep.Stats.UserPrunings, rep.Stats.Verifications, rep.Stats.Iterations,
+		rep.Stats.ExpandedEdges, rep.Graph.NumExtraEdges(ddg.StrongImplicit))
 
 	// Verification log.
 	if len(rep.VerifyLog) > 0 {

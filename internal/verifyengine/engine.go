@@ -31,11 +31,13 @@ package verifyengine
 import (
 	"hash/fnv"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"eol/internal/implicit"
 	"eol/internal/interp"
+	"eol/internal/obs"
 	"eol/internal/trace"
 )
 
@@ -60,6 +62,12 @@ type Config struct {
 	// return true when the verdict is provably NOT_ID; it is consulted
 	// from the planning loop, never concurrently.
 	Filter func(implicit.Request) bool
+	// Rec, if non-nil, receives verify_batch spans, per-verification
+	// switched_run marks and per-batch counter deltas. All emission
+	// happens on the VerifyBatch caller's goroutine — batch planning and
+	// sequential absorption — never from workers, and the worker count is
+	// never recorded, so the stream is identical for any Workers value.
+	Rec *obs.Recorder
 }
 
 // Stats reports what one engine did. Cache* counters are per-engine
@@ -79,6 +87,9 @@ type Stats struct {
 	// StaticSkips counts verifications answered by the static skip
 	// filter (Config.Filter) without any switched re-execution.
 	StaticSkips int64
+	// AlignedRegions totals the region steps walked by alignment across
+	// all absorbed verifications (see implicit.Result.AlignRegions).
+	AlignedRegions int64
 }
 
 // HitRate returns the switched-run cache hit rate in [0, 1].
@@ -107,8 +118,11 @@ type Engine struct {
 	progHash  uint64
 	inputHash uint64
 
+	rec *obs.Recorder
+
 	batches, batched int64
 	staticSkips      int64
+	alignedRegions   int64
 	runs             atomic.Int64
 	cacheHits        atomic.Int64
 	cacheMisses      atomic.Int64
@@ -122,7 +136,7 @@ func New(base *implicit.Verifier, cfg Config) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{base: base, workers: w, filter: cfg.Filter}
+	e := &Engine{base: base, workers: w, filter: cfg.Filter, rec: cfg.Rec}
 	switch {
 	case cfg.Cache != nil:
 		e.cache = cfg.Cache
@@ -182,6 +196,12 @@ func (e *Engine) VerifyBatch(reqs []implicit.Request) []implicit.Verdict {
 	e.batches++
 	e.batched += int64(len(reqs))
 
+	var before Stats
+	if e.rec.Enabled() {
+		before = e.Stats()
+		e.rec.Begin("verify_batch", "reqs", strconv.Itoa(len(reqs)))
+	}
+
 	// Plan: one job per distinct not-yet-memoized key, at its first
 	// occurrence; duplicates resolve through the memo during absorption.
 	results := make([]*implicit.Result, len(reqs))
@@ -234,16 +254,50 @@ func (e *Engine) VerifyBatch(reqs []implicit.Request) []implicit.Verdict {
 		}
 	}
 
+	// Absorption is sequential and in request order, so everything
+	// emitted below — switched_run marks, the verifier's verdict marks
+	// from Absorb, the counter deltas — lands in a deterministic order
+	// no matter how the workers interleaved above.
 	for i, req := range reqs {
 		switch {
 		case results[i] != nil:
-			verdicts[i] = e.base.Absorb(req, results[i])
+			res := results[i]
+			e.alignedRegions += int64(res.AlignRegions)
+			if e.rec.Enabled() && res.Switched != nil {
+				e.rec.Mark("switched_run", int64(res.Switched.Steps),
+					"pred", e.base.Orig.At(req.Pred).Inst.String())
+			}
+			verdicts[i] = e.base.Absorb(req, res)
 		default:
 			// Memoized before the batch, or a duplicate absorbed at its
 			// first occurrence above; Verify resolves it from the memo
 			// (and, failing that, verifies inline as a safety net).
 			verdicts[i] = e.base.Verify(req)
 		}
+	}
+
+	if e.rec.Enabled() {
+		// Per-batch counter deltas. These totals are deterministic even
+		// though individual lookups race: within a batch the misses are
+		// exactly the distinct uncached run keys (single-flight) and the
+		// rest are hits, regardless of worker interleaving.
+		after := e.Stats()
+		for _, c := range []struct {
+			name string
+			d    int64
+		}{
+			{"switched_runs", after.Runs - before.Runs},
+			{"cache_hits", after.CacheHits - before.CacheHits},
+			{"cache_misses", after.CacheMisses - before.CacheMisses},
+			{"cache_evictions", after.CacheEvictions - before.CacheEvictions},
+			{"static_skips", after.StaticSkips - before.StaticSkips},
+			{"aligned_regions", after.AlignedRegions - before.AlignedRegions},
+		} {
+			if c.d != 0 {
+				e.rec.Count(c.name, c.d)
+			}
+		}
+		e.rec.End("verify_batch", int64(len(reqs)))
 	}
 	return verdicts
 }
@@ -253,9 +307,10 @@ func (e *Engine) Stats() Stats {
 	s := Stats{
 		Workers: e.workers,
 		Batches: e.batches, Batched: e.batched,
-		StaticSkips: e.staticSkips,
-		Runs:        e.runs.Load(),
-		CacheHits:   e.cacheHits.Load(), CacheMisses: e.cacheMisses.Load(),
+		StaticSkips:    e.staticSkips,
+		AlignedRegions: e.alignedRegions,
+		Runs:           e.runs.Load(),
+		CacheHits:      e.cacheHits.Load(), CacheMisses: e.cacheMisses.Load(),
 	}
 	if e.cache != nil {
 		s.CacheEvictions = e.cache.Stats().Evictions
