@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench verify-table journal-smoke
+.PHONY: all build test race vet lint bench bench-smoke verify-table journal-smoke
 
 all: build test lint
 
@@ -30,6 +30,12 @@ lint: vet
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 10x .
+
+# Bench smoke lane: every benchmark must still compile and survive one
+# iteration (no measurements) — keeps the bench suite from bit-rotting
+# between real benchmarking sessions.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Sequential vs parallel vs cached verification scheduling table.
 verify-table:

@@ -79,7 +79,7 @@ func BenchmarkTable2Slicing(b *testing.B) {
 		b.Run(name+"/DS", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				g := ddg.New(p.Run.Trace)
-				if len(slicing.Dynamic(g, seed)) == 0 {
+				if slicing.Dynamic(g, seed).Len() == 0 {
 					b.Fatal("empty slice")
 				}
 			}
@@ -88,7 +88,7 @@ func BenchmarkTable2Slicing(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cx := slicing.NewContext(p.Faulty, p.Run.Trace)
 				g := ddg.New(p.Run.Trace)
-				if len(cx.Relevant(g, seed)) == 0 {
+				if cx.Relevant(g, seed).Len() == 0 {
 					b.Fatal("empty slice")
 				}
 			}
@@ -288,6 +288,43 @@ func BenchmarkVerifyEngineLocate(b *testing.B) {
 						b.Fatalf("%s: not located", name)
 					}
 				}
+			})
+		}
+	}
+}
+
+// BenchmarkRepruneIncremental measures what incremental re-pruning buys
+// a full localization: Algorithm 2's re-prune step after each expansion
+// iteration either re-propagates only the dirty cone invalidated by the
+// newly verified edges (inc) or recomputes confidence over the whole
+// slice from scratch (full). The Reports are identical either way
+// (internal/core TestIncrementalDeterminismBench); this measures the
+// cost difference on the multi-iteration cases.
+func BenchmarkRepruneIncremental(b *testing.B) {
+	for _, name := range []string{"grepsim/V4-F2", "sedsim/V3-F2", "sedsim/V3-F3"} {
+		p := prep(b, name)
+		for _, mode := range []struct {
+			label string
+			noInc bool
+		}{{"full", true}, {"inc", false}} {
+			b.Run(fmt.Sprintf("%s/%s", name, mode.label), func(b *testing.B) {
+				var reeval int64
+				var frac float64
+				for i := 0; i < b.N; i++ {
+					spec := p.Spec()
+					spec.NoIncremental = mode.noInc
+					rep, err := core.Locate(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Located {
+						b.Fatalf("%s: not located", name)
+					}
+					reeval = rep.Stats.Repropagated
+					frac = rep.Stats.DirtyFraction
+				}
+				b.ReportMetric(float64(reeval), "reeval/op")
+				b.ReportMetric(frac, "dirtyfrac")
 			})
 		}
 	}

@@ -145,6 +145,7 @@ func newShell(c *interp.Compiled, input, expected []int64, ef cliutil.EngineFlag
 	}
 	g := ddg.New(tr)
 	an := confidence.New(c, g, nil, correct, wrong)
+	an.Incremental = true
 	an.Compute()
 	ver := &implicit.Verifier{C: c, Input: input, Orig: tr, WrongOut: wrong, Rec: rec}
 	if seq < len(expected) {
@@ -226,10 +227,10 @@ func (sh *shell) expand() {
 			fmt.Printf("  VerifyDep(%v -> %v) = %v\n", pi, sh.tr.At(u).Inst, verdict)
 			switch verdict {
 			case implicit.StrongID:
-				sh.an.G.AddEdge(u, pd.Pred, ddg.StrongImplicit)
+				sh.an.AddEdges(confidence.Arc{From: u, To: pd.Pred, Kind: ddg.StrongImplicit})
 				added++
 			case implicit.ID:
-				sh.an.G.AddEdge(u, pd.Pred, ddg.Implicit)
+				sh.an.AddEdges(confidence.Arc{From: u, To: pd.Pred, Kind: ddg.Implicit})
 				added++
 			}
 		}

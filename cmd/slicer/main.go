@@ -41,6 +41,7 @@ func main() {
 	correctFlag := flag.String("correct", "", "path to the correct program version")
 	slicesFlag := flag.String("slices", "ds,rs,ps", "which slices to print")
 	instFlag := flag.Bool("instances", false, "list statement instances")
+	engineFlag := flag.Bool("engine", false, "print dependence-graph engine statistics per slice")
 	dotFlag := flag.String("dot", "", "write the RS dependence graph as DOT to this file")
 	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
@@ -95,9 +96,11 @@ func main() {
 		if err != nil {
 			cliutil.Fatalf("slicer: %v", err)
 		}
+		hl := ddg.NewSet(run.Trace.Len())
+		hl.Add(seed)
 		err = g.WriteDOT(f, ddg.DOTOptions{
 			Only:      set,
-			Highlight: map[int]bool{seed: true},
+			Highlight: hl,
 			Label: func(i int) string {
 				e := run.Trace.At(i)
 				return fmt.Sprintf("%v %s", e.Inst, ast.StmtString(faulty.Info.Stmt(e.Inst.Stmt)))
@@ -116,10 +119,12 @@ func main() {
 			g := ddg.New(run.Trace)
 			set := slicing.Dynamic(g, seed)
 			printSlice(faulty, run.Trace, "DS (classic dynamic slice)", g, set, *instFlag)
+			printEngine(g, nil, *engineFlag)
 		case "rs":
 			g := ddg.New(run.Trace)
 			set := cx.Relevant(g, seed)
 			printSlice(faulty, run.Trace, "RS (relevant slice)", g, set, *instFlag)
+			printEngine(g, nil, *engineFlag)
 		case "ps":
 			g := ddg.New(run.Trace)
 			var correctOuts []trace.Output
@@ -128,11 +133,12 @@ func main() {
 			}
 			an := confidence.New(faulty, g, nil, correctOuts, *o)
 			an.Compute()
-			set := map[int]bool{}
+			set := ddg.NewSet(run.Trace.Len())
 			for _, cand := range an.FaultCandidates() {
-				set[cand.Entry] = true
+				set.Add(cand.Entry)
 			}
 			printSlice(faulty, run.Trace, "PS (confidence-pruned slice)", g, set, *instFlag)
+			printEngine(g, an, *engineFlag)
 		default:
 			cliutil.Usagef("slicer: unknown slice kind %q", which)
 		}
@@ -155,18 +161,43 @@ func mustCompile(path string) *interp.Compiled {
 	return c
 }
 
-func printSlice(c *interp.Compiled, tr *trace.Trace, title string, g *ddg.Graph, set map[int]bool, insts bool) {
+// printEngine reports the depgraph engine's shape for the slice just
+// printed: immutable CSR base vs analysis-added overlay (broken out by
+// edge kind), and the last re-prune pass's dirty fraction when a
+// confidence analyzer ran. A single slicer invocation computes each
+// slice in one pass, so the fraction is n/a unless something (an
+// expansion, a pin) forced a re-prune.
+func printEngine(g *ddg.Graph, an *confidence.Analyzer, enabled bool) {
+	if !enabled {
+		return
+	}
+	es := g.EngineStats()
+	dirty := "n/a"
+	if an != nil {
+		if passes, reeval := an.RepropStats(); passes > 0 && es.Nodes > 0 {
+			dirty = fmt.Sprintf("%.3f", float64(reeval)/(float64(passes)*float64(es.Nodes)))
+		}
+	}
+	fmt.Printf("  engine: %d nodes, %d CSR base edges, %d overlay edges (pd %d, id %d, sid %d), last dirty fraction %s\n",
+		es.Nodes, es.BaseEdges, es.OverlayEdges,
+		g.NumExtraEdges(ddg.Potential),
+		g.NumExtraEdges(ddg.Implicit),
+		g.NumExtraEdges(ddg.StrongImplicit),
+		dirty)
+}
+
+func printSlice(c *interp.Compiled, tr *trace.Trace, title string, g *ddg.Graph, set *ddg.Set, insts bool) {
 	stats := g.Stats(set)
 	fmt.Printf("\n%s: %d statements, %d instances\n", title, stats.Static, stats.Dynamic)
 	if insts {
-		for _, i := range ddg.SortedEntries(set) {
+		for _, i := range set.Ordered() {
 			e := tr.At(i)
 			fmt.Printf("  %-9v %s\n", e.Inst, ast.StmtString(c.Info.Stmt(e.Inst.Stmt)))
 		}
 		return
 	}
 	seen := map[int]bool{}
-	for _, i := range ddg.SortedEntries(set) {
+	for _, i := range set.Ordered() {
 		id := tr.At(i).Inst.Stmt
 		if !seen[id] {
 			seen[id] = true

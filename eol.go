@@ -212,6 +212,13 @@ type Settings struct {
 	VerifyCacheSize int
 	// NoStaticSkip disables the static skip-filter.
 	NoStaticSkip bool
+	// NoIncremental disables incremental re-pruning of the expanded
+	// graph (Algorithm 2's re-prune step recomputes confidence from
+	// scratch each iteration instead of re-propagating the dirty cone).
+	// The diagnosis, journal and candidate ranking are byte-identical
+	// either way; only Stats.Repropagated/DirtyFraction and wall-clock
+	// time differ.
+	NoIncremental bool
 	// Observer receives the run's deterministic event stream (see
 	// WithObserver and docs/OBSERVABILITY.md).
 	Observer Observer
@@ -288,7 +295,7 @@ func (sl Slice) ContainsStmt(id int) bool {
 	return false
 }
 
-func (s *Session) newSlice(g *ddg.Graph, set map[int]bool) Slice {
+func (s *Session) newSlice(g *ddg.Graph, set *ddg.Set) Slice {
 	sl := Slice{}
 	stmts := map[int]bool{}
 	for _, i := range ddg.SortedEntries(set) {
@@ -447,6 +454,16 @@ func WithVerifyCacheSize(n int) LocateOption {
 	return func(s *Settings) { s.VerifyCacheSize = n }
 }
 
+// WithoutIncrementalReprune disables the incremental delta re-pruning of
+// the dependence-graph engine: each Algorithm-2 iteration recomputes
+// confidence over the whole slice from scratch instead of re-propagating
+// only the cone invalidated by newly verified edges. The diagnosis is
+// identical either way; the flag exists for A/B cost comparison (see
+// Stats.Repropagated and Stats.DirtyFraction).
+func WithoutIncrementalReprune() LocateOption {
+	return func(s *Settings) { s.NoIncremental = true }
+}
+
 // WithoutStaticSkip disables the static skip-filter, which proves some
 // verifications NOT_ID from the failing trace alone and answers them
 // without a switched re-execution. The diagnosis is identical either
@@ -569,6 +586,7 @@ func (s *Session) Locate(opts ...LocateOption) (*Diagnosis, error) {
 		VerifyWorkers:   st.VerifyWorkers,
 		VerifyCacheSize: st.VerifyCacheSize,
 		NoStaticSkip:    st.NoStaticSkip,
+		NoIncremental:   st.NoIncremental,
 		Observer:        observer,
 	}
 	rep, err := core.Locate(spec)

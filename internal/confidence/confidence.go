@@ -26,6 +26,24 @@
 // precisely why the paper rejects the "relevant slicing + confidence"
 // shortcut (§3.2): a false potential edge would launder confidence onto
 // the root cause and sanitize it.
+//
+// # Incremental re-propagation
+//
+// Algorithm 2 calls Compute after every expansion wave and every benign
+// verdict, but each such step changes the graph by a handful of overlay
+// edges or pins one instance. When Incremental is set, edge additions
+// routed through AddEdges and pins through Pin/MarkBenign are queued as
+// deltas, and the next Compute touches only the invalidated cone: the
+// slice/closure sets grow by the new edges' backward cones, distances
+// relax decrease-only, the pinned fixpoint continues from the new pins
+// (it is monotone, so continuation and from-scratch agree), and
+// confidences re-evaluate along a worklist in decreasing entry order.
+// Because every dependence edge points from a later entry to an earlier
+// one, consumers always finalize before their producers, and the delta
+// pass reproduces the full pass bit for bit — the same float operations
+// on the same operands (see docs/DEPGRAPH.md for the argument). Any state
+// the delta path cannot account for — Kinds or Naive changed, the graph
+// mutated behind the analyzer's back — falls back to a full pass.
 package confidence
 
 import (
@@ -33,6 +51,7 @@ import (
 	"sort"
 
 	"eol/internal/ddg"
+	"eol/internal/depgraph"
 	"eol/internal/interp"
 	"eol/internal/lang/ast"
 	"eol/internal/lang/token"
@@ -90,6 +109,21 @@ func (p *Profile) Range(stmt int) int {
 	return n
 }
 
+// consumer is one reader of an entry's value: a data use or the source of
+// an analysis-added edge pointing at the entry.
+type consumer struct {
+	entry int
+	kind  ddg.Kind
+	sym   int
+}
+
+// Arc is one analysis-added dependence edge routed through the analyzer,
+// so an incremental Compute can re-propagate only its cone.
+type Arc struct {
+	From, To int
+	Kind     ddg.Kind
+}
+
 // Analyzer computes confidences for one failing execution.
 type Analyzer struct {
 	C       *interp.Compiled
@@ -110,16 +144,37 @@ type Analyzer struct {
 	// paper warns against (§3.2): confidence-1 propagates across
 	// *unverified potential* edges, and a confirmed predicate outcome
 	// pins its operands. Used only by the ablation harness to demonstrate
-	// that this sanitizes root causes.
+	// that this sanitizes root causes. Naive mode always recomputes fully.
 	Naive bool
+
+	// Incremental enables delta re-propagation: Compute after the first
+	// touches only the cone invalidated by queued AddEdges/Pin deltas.
+	// Results are identical to a full recomputation either way; only cost
+	// differs (RepropStats).
+	Incremental bool
 
 	benign map[int]bool
 
-	// results of the last Compute
-	conf   map[int]float64
-	slice  map[int]bool
-	pinned map[int]bool
-	dist   map[int]int
+	// Results of the last Compute.
+	conf   []float64
+	slice  *depgraph.Set
+	pinned []bool
+	dist   []int32
+	cc     *depgraph.Set // union closure of the correct outputs
+
+	consumers [][]consumer
+
+	computed   bool
+	compKinds  ddg.Kind // Kinds value the cached state was computed under
+	accVersion uint64   // graph version the cached state accounts for
+
+	pendingArcs []Arc
+	pendingPins []int
+
+	// Re-propagation accounting (RepropStats): Compute passes after the
+	// first, and confidence entries re-evaluated by them.
+	passes int
+	reeval int64
 }
 
 // New prepares an analyzer over graph g with the classified outputs.
@@ -132,118 +187,174 @@ func New(c *interp.Compiled, g *ddg.Graph, prof *Profile, correct []trace.Output
 	}
 }
 
-// MarkBenign pins entry at confidence 1 (the user inspected its program
-// state and found it correct). Compute must be re-run afterwards.
-func (a *Analyzer) MarkBenign(entry int) { a.benign[entry] = true }
+// AddEdges records analysis-added dependence edges in the graph and
+// queues them as deltas for the next Compute. Duplicate edges are
+// ignored. This is the edge-addition entry point Algorithm 2's expansion
+// must use for incremental re-pruning to see the change; edges added
+// directly on the graph still work but force the next Compute to fall
+// back to a full pass.
+func (a *Analyzer) AddEdges(arcs ...Arc) {
+	for _, arc := range arcs {
+		if a.G.AddEdge(arc.From, arc.To, arc.Kind) {
+			a.pendingArcs = append(a.pendingArcs, arc)
+			a.accVersion = a.G.Version()
+		}
+	}
+}
+
+// Pin marks entry as known-correct (the user inspected its program state
+// and found it benign): confidence 1 after the next Compute.
+func (a *Analyzer) Pin(entry int) {
+	if !a.benign[entry] {
+		a.benign[entry] = true
+		a.pendingPins = append(a.pendingPins, entry)
+	}
+}
+
+// MarkBenign is the historical name for Pin.
+func (a *Analyzer) MarkBenign(entry int) { a.Pin(entry) }
 
 // Benign reports whether entry was marked benign.
 func (a *Analyzer) Benign(entry int) bool { return a.benign[entry] }
 
+// RepropStats reports the re-propagation cost of Compute calls after the
+// first: how many such passes ran and how many confidence entries they
+// re-evaluated in total. A delta pass counts its dirty set; a full pass
+// counts the whole trace — so the ratio reeval/(passes·len(trace)) is the
+// run's mean dirty fraction, 1.0 when Incremental is off.
+func (a *Analyzer) RepropStats() (passes int, reeval int64) { return a.passes, a.reeval }
+
 // Compute (re)computes confidences over the current graph and benign set.
+// With Incremental set and all changes routed through AddEdges/Pin since
+// the previous pass, only the invalidated cone is re-evaluated.
 func (a *Analyzer) Compute() {
+	if a.computed && a.Incremental && !a.Naive &&
+		a.Kinds == a.compKinds && a.G.Version() == a.accVersion {
+		a.computeDelta()
+		return
+	}
+	a.computeFull()
+}
+
+// computeFull recomputes every analysis artifact from scratch.
+func (a *Analyzer) computeFull() {
 	t := a.G.T
+	n := t.Len()
 	a.slice = a.G.BackwardSlice(a.Kinds, a.WrongOut.Entry)
 	a.dist = a.G.Distances(a.Kinds, a.WrongOut.Entry)
 
 	// Entries influencing at least one correct output.
-	correctClosure := map[int]bool{}
+	a.cc = depgraph.NewSet(n)
 	for _, o := range a.CorrectOuts {
-		for e := range a.G.BackwardSlice(a.Kinds, o.Entry) {
-			correctClosure[e] = true
-		}
+		a.G.Extend(a.cc, a.Kinds, o.Entry)
 	}
 
 	// Exact pass: pinned set.
-	a.pinned = a.computePinned(correctClosure)
+	a.pinned = a.computePinned()
 
 	// Fractional pass, in reverse execution order so consumers are done
-	// before their producers. Build the forward consumer lists once.
-	type consumer struct {
-		entry int
-		kind  ddg.Kind
-		sym   int
-		elem  int64
+	// before their producers.
+	a.buildConsumers()
+	a.conf = make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		a.conf[i] = a.confOf(i)
 	}
-	consumers := make([][]consumer, t.Len())
-	var buf []ddg.Edge
-	for i := 0; i < t.Len(); i++ {
+
+	if a.computed {
+		a.passes++
+		a.reeval += int64(n)
+	}
+	a.computed = true
+	a.compKinds = a.Kinds
+	a.accVersion = a.G.Version()
+	a.pendingArcs = a.pendingArcs[:0]
+	a.pendingPins = a.pendingPins[:0]
+}
+
+// buildConsumers assembles the forward consumer lists: data uses from the
+// trace plus analysis-added edges of the non-explicit kinds in Kinds.
+func (a *Analyzer) buildConsumers() {
+	t := a.G.T
+	n := t.Len()
+	a.consumers = make([][]consumer, n)
+	for i := 0; i < n; i++ {
 		e := t.At(i)
 		for _, u := range e.Uses {
 			if u.Def >= 0 {
-				consumers[u.Def] = append(consumers[u.Def],
-					consumer{entry: i, kind: ddg.Data, sym: u.Sym, elem: u.Elem})
+				a.consumers[u.Def] = append(a.consumers[u.Def],
+					consumer{entry: i, kind: ddg.Data, sym: u.Sym})
 			}
 		}
-		buf = a.G.Deps(i, a.Kinds&^ddg.Explicit, buf[:0])
-		for _, ed := range buf {
-			consumers[ed.To] = append(consumers[ed.To], consumer{entry: i, kind: ed.Kind})
-		}
-	}
-
-	a.conf = map[int]float64{}
-	for i := t.Len() - 1; i >= 0; i-- {
-		if a.pinned[i] {
-			a.conf[i] = 1
-			continue
-		}
-		if !correctClosure[i] {
-			a.conf[i] = 0 // no evidence of correctness (Fig. 4's C=0 case)
-			continue
-		}
-		best := 0.0
-		r := a.Profile.Range(t.At(i).Inst.Stmt)
-		for _, c := range consumers[i] {
-			cc, ok := a.conf[c.entry]
-			if !ok {
-				continue
-			}
-			var phi float64
-			if c.kind == ddg.Data {
-				cls := classifyUse(a.C, t.At(c.entry).Inst.Stmt, c.sym)
-				phi = cls.factor(r)
-			} else {
-				// verified implicit edge: the consumer's branch outcome
-				// constrains the producer like a comparison would
-				phi = useClass{kind: classCompare}.factor(r)
-			}
-			if v := cc * phi; v > best {
-				best = v
-			}
-		}
-		if best > 1 {
-			best = 1
-		}
-		if best >= 1 {
-			best = 0.999 // exact 1 is reserved for the pinned set
-		}
-		a.conf[i] = best
-	}
-	for b := range a.benign {
-		a.conf[b] = 1
+		from := i
+		a.G.EachDep(i, a.Kinds&^ddg.Explicit, func(ed ddg.Edge) {
+			a.consumers[ed.To] = append(a.consumers[ed.To], consumer{entry: from, kind: ed.Kind})
+		})
 	}
 }
 
-// computePinned runs the exact one-to-one fixpoint.
-func (a *Analyzer) computePinned(correctClosure map[int]bool) map[int]bool {
+// confOf evaluates the confidence formula for entry i from the current
+// pinned/closure/consumer state. Consumers at or below i are skipped —
+// the reverse-order full pass never saw them (their confidence was not
+// yet computed), and the delta pass must reproduce the full pass exactly.
+func (a *Analyzer) confOf(i int) float64 {
+	if a.pinned[i] {
+		return 1
+	}
+	if !a.cc.Has(i) {
+		return 0 // no evidence of correctness (Fig. 4's C=0 case)
+	}
 	t := a.G.T
-	pinned := map[int]bool{}
+	best := 0.0
+	r := a.Profile.Range(t.At(i).Inst.Stmt)
+	for _, c := range a.consumers[i] {
+		if c.entry <= i {
+			continue
+		}
+		cc := a.conf[c.entry]
+		var phi float64
+		if c.kind == ddg.Data {
+			cls := classifyUse(a.C, t.At(c.entry).Inst.Stmt, c.sym)
+			phi = cls.factor(r)
+		} else {
+			// verified implicit edge: the consumer's branch outcome
+			// constrains the producer like a comparison would
+			phi = useClass{kind: classCompare}.factor(r)
+		}
+		if v := cc * phi; v > best {
+			best = v
+		}
+	}
+	if best > 1 {
+		best = 1
+	}
+	if best >= 1 {
+		best = 0.999 // exact 1 is reserved for the pinned set
+	}
+	return best
+}
+
+// computePinned runs the exact one-to-one fixpoint from scratch.
+func (a *Analyzer) computePinned() []bool {
+	t := a.G.T
+	n := t.Len()
+	pinned := make([]bool, n)
 	for b := range a.benign {
-		pinned[b] = true
+		if b >= 0 && b < n {
+			pinned[b] = true
+		}
 	}
 	// Seeds: definitions directly feeding a correct output. Print
 	// statements are injective in each printed value, so the def of each
 	// use of a correct print entry whose value was observed correct is
 	// pinned. A print entry that produced the wrong output is never a
 	// seed source for its wrong argument.
-	wrongEntry, wrongArg := a.WrongOut.Entry, a.WrongOut.Arg
+	wrongEntry := a.WrongOut.Entry
 	for _, o := range a.CorrectOuts {
 		if o.Entry == wrongEntry {
 			continue // the failing print instance is never evidence
 		}
-		_ = wrongArg
 		// The print instance itself was observed correct.
 		pinned[o.Entry] = true
-		// The printed value is Value of the def of the o.Arg-th use...
 		// print arguments may be arbitrary expressions; only pin defs
 		// when the argument is a direct variable read, i.e. the def's
 		// produced value equals the printed value.
@@ -256,63 +367,176 @@ func (a *Analyzer) computePinned(correctClosure map[int]bool) map[int]bool {
 
 	// Fixpoint: pinned consumer + injective-in-operand + other operands
 	// pinned => operand's def pinned. In Naive mode, pinned entries also
-	// pin across unverified potential edges (the §3.2 pitfall).
-	var buf []ddg.Edge
+	// pin across unverified potential edges (the §3.2 pitfall). The
+	// closure is monotone, so the scan order does not affect the result.
 	for changed := true; changed; {
 		changed = false
-		for i := 0; i < t.Len(); i++ {
+		for i := 0; i < n; i++ {
 			if !pinned[i] {
 				continue
 			}
 			if a.Naive {
-				buf = a.G.Deps(i, ddg.Potential, buf[:0])
-				for _, ed := range buf {
+				a.G.EachDep(i, ddg.Potential, func(ed ddg.Edge) {
 					if !pinned[ed.To] {
 						pinned[ed.To] = true
 						changed = true
 					}
-				}
+				})
 			}
-			e := t.At(i)
-			if len(e.Defs) == 0 && len(e.Uses) == 0 {
-				continue
-			}
-			for _, u := range e.Uses {
-				if u.Def < 0 || pinned[u.Def] {
-					continue
-				}
-				cls := classifyUse(a.C, e.Inst.Stmt, u.Sym)
-				if a.Naive && cls.kind == classCompare {
-					// A "confirmed" predicate outcome is naively taken to
-					// confirm its operand.
-					cls = useClass{kind: classInjective}
-				}
-				if cls.kind != classInjective {
-					continue
-				}
-				othersPinned := true
-				for _, v := range e.Uses {
-					if v.Sym != u.Sym && v.Def >= 0 && !pinned[v.Def] {
-						othersPinned = false
-						break
-					}
-				}
-				if othersPinned {
-					pinned[u.Def] = true
-					changed = true
-				}
-			}
+			a.tryPinUses(i, pinned, func(int) { changed = true })
 		}
 	}
-	_ = correctClosure
 	return pinned
 }
 
+// tryPinUses applies the one-to-one rule at pinned consumer i: an operand
+// whose mapping to i's result is injective, with every other operand
+// pinned, has its definition pinned. onPin is invoked for each newly
+// pinned definition.
+func (a *Analyzer) tryPinUses(i int, pinned []bool, onPin func(def int)) {
+	e := a.G.T.At(i)
+	if len(e.Defs) == 0 && len(e.Uses) == 0 {
+		return
+	}
+	for _, u := range e.Uses {
+		if u.Def < 0 || pinned[u.Def] {
+			continue
+		}
+		cls := classifyUse(a.C, e.Inst.Stmt, u.Sym)
+		if a.Naive && cls.kind == classCompare {
+			// A "confirmed" predicate outcome is naively taken to
+			// confirm its operand.
+			cls = useClass{kind: classInjective}
+		}
+		if cls.kind != classInjective {
+			continue
+		}
+		othersPinned := true
+		for _, v := range e.Uses {
+			if v.Sym != u.Sym && v.Def >= 0 && !pinned[v.Def] {
+				othersPinned = false
+				break
+			}
+		}
+		if othersPinned {
+			pinned[u.Def] = true
+			onPin(u.Def)
+		}
+	}
+}
+
+// computeDelta re-propagates only the cone invalidated by the queued
+// deltas. Equivalence with computeFull rests on three facts: the closure
+// sets and distances are unique (so incremental growth/relaxation lands
+// on the same sets), the pinned fixpoint is monotone (so continuation
+// from the new pins reaches the same least fixpoint), and every edge
+// points from a later entry to an earlier one (so re-evaluating dirty
+// confidences in decreasing entry order sees exactly the consumer values
+// a full reverse-order pass would see).
+func (a *Analyzer) computeDelta() {
+	t := a.G.T
+	n := t.Len()
+	extraKinds := a.Kinds &^ ddg.Explicit
+
+	dirty := depgraph.NewSet(n)
+	var work maxHeap
+	push := func(i int) {
+		if i >= 0 && i < n && dirty.Add(i) {
+			work.push(i)
+		}
+	}
+
+	// Structure deltas: new consumers, slice/closure growth, distance
+	// relaxation. The closure growth loops to a fixpoint because one
+	// arc's extension can pull another arc's source into the set; the
+	// traversal itself already runs over the fully-updated graph.
+	for _, arc := range a.pendingArcs {
+		if arc.Kind&extraKinds != 0 {
+			a.consumers[arc.To] = append(a.consumers[arc.To],
+				consumer{entry: arc.From, kind: arc.Kind})
+			push(arc.To)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, arc := range a.pendingArcs {
+			if arc.Kind&a.Kinds == 0 {
+				continue
+			}
+			if a.slice.Has(arc.From) && !a.slice.Has(arc.To) {
+				a.G.Extend(a.slice, a.Kinds, arc.To)
+				changed = true
+			}
+			if a.cc.Has(arc.From) && !a.cc.Has(arc.To) {
+				for _, e := range a.G.Extend(a.cc, a.Kinds, arc.To) {
+					push(e)
+				}
+				changed = true
+			}
+			a.G.Relax(a.dist, a.Kinds, arc.From, arc.To)
+		}
+	}
+
+	// Pinned fixpoint continuation: examine each newly pinned entry as a
+	// consumer, and re-examine its already-pinned data consumers (the new
+	// pin may be the "other operand" that unlocks them).
+	var pinWork []int
+	onPin := func(p int) {
+		pinWork = append(pinWork, p)
+		push(p)
+	}
+	for _, p := range a.pendingPins {
+		if p >= 0 && p < n && !a.pinned[p] {
+			a.pinned[p] = true
+			onPin(p)
+		}
+	}
+	for len(pinWork) > 0 {
+		d := pinWork[len(pinWork)-1]
+		pinWork = pinWork[:len(pinWork)-1]
+		a.tryPinUses(d, a.pinned, onPin)
+		for _, c := range a.consumers[d] {
+			if c.kind == ddg.Data && a.pinned[c.entry] {
+				a.tryPinUses(c.entry, a.pinned, onPin)
+			}
+		}
+	}
+
+	// Confidence re-propagation in decreasing entry order: a changed
+	// value dirties the entry's producers, which sit strictly below it.
+	processed := 0
+	for work.len() > 0 {
+		i := work.pop()
+		processed++
+		nv := a.confOf(i)
+		if nv != a.conf[i] {
+			a.conf[i] = nv
+			for _, u := range t.At(i).Uses {
+				if u.Def >= 0 {
+					push(u.Def)
+				}
+			}
+			a.G.EachDep(i, extraKinds, func(ed ddg.Edge) { push(ed.To) })
+		}
+	}
+
+	a.passes++
+	a.reeval += int64(processed)
+	a.accVersion = a.G.Version()
+	a.pendingArcs = a.pendingArcs[:0]
+	a.pendingPins = a.pendingPins[:0]
+}
+
 // Confidence returns the confidence of entry (after Compute).
-func (a *Analyzer) Confidence(entry int) float64 { return a.conf[entry] }
+func (a *Analyzer) Confidence(entry int) float64 {
+	if entry < 0 || entry >= len(a.conf) {
+		return 0
+	}
+	return a.conf[entry]
+}
 
 // Slice returns the current slice of the wrong output (after Compute).
-func (a *Analyzer) Slice() map[int]bool { return a.slice }
+func (a *Analyzer) Slice() *depgraph.Set { return a.slice }
 
 // Candidate is a ranked fault candidate.
 type Candidate struct {
@@ -327,16 +551,16 @@ type Candidate struct {
 // then latest execution).
 func (a *Analyzer) FaultCandidates() []Candidate {
 	var res []Candidate
-	for e := range a.slice {
+	a.slice.ForEach(func(e int) {
 		if a.conf[e] >= 1 {
-			continue
+			return
 		}
-		d, ok := a.dist[e]
-		if !ok {
-			d = math.MaxInt32
+		d := math.MaxInt32
+		if dd := a.dist[e]; dd >= 0 {
+			d = int(dd)
 		}
 		res = append(res, Candidate{Entry: e, Conf: a.conf[e], Dist: d})
-	}
+	})
 	sort.Slice(res, func(i, j int) bool {
 		if res[i].Conf != res[j].Conf {
 			return res[i].Conf < res[j].Conf
@@ -351,13 +575,58 @@ func (a *Analyzer) FaultCandidates() []Candidate {
 
 // PrunedStats summarizes the pruned slice in static/dynamic terms.
 func (a *Analyzer) PrunedStats() ddg.SliceStats {
-	pruned := map[int]bool{}
-	for e := range a.slice {
+	pruned := depgraph.NewSet(a.G.T.Len())
+	a.slice.ForEach(func(e int) {
 		if a.conf[e] < 1 {
-			pruned[e] = true
+			pruned.Add(e)
 		}
-	}
+	})
 	return a.G.Stats(pruned)
+}
+
+// maxHeap is a simple binary max-heap of entry indices, used to drain the
+// dirty set in decreasing order.
+type maxHeap []int
+
+func (h maxHeap) len() int { return len(h) }
+
+func (h *maxHeap) push(i int) {
+	*h = append(*h, i)
+	s := *h
+	c := len(s) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if s[p] >= s[c] {
+			break
+		}
+		s[p], s[c] = s[c], s[p]
+		c = p
+	}
+}
+
+func (h *maxHeap) pop() int {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	p := 0
+	for {
+		c := 2*p + 1
+		if c >= len(s) {
+			break
+		}
+		if c+1 < len(s) && s[c+1] > s[c] {
+			c++
+		}
+		if s[p] >= s[c] {
+			break
+		}
+		s[p], s[c] = s[c], s[p]
+		p = c
+	}
+	return top
 }
 
 // ---------------------------------------------------------------------------

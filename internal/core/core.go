@@ -50,7 +50,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 
 	"eol/internal/check"
@@ -143,6 +142,13 @@ type Spec struct {
 	// calls (e.g. many localizations of one program family). Overrides
 	// VerifyCacheSize.
 	VerifyCache *verifyengine.RunCache
+	// NoIncremental disables incremental re-pruning: every PruneSlicing
+	// pass recomputes confidence over the whole graph instead of
+	// re-propagating only the cone invalidated since the previous pass.
+	// Results (Report counters, VerifyLog, obs journal) are byte-identical
+	// either way — only Stats.Repropagated/DirtyFraction and wall-clock
+	// time differ — so this flag exists for A/B comparison and debugging.
+	NoIncremental bool
 	// NoStaticSkip disables the static skip-filter
 	// (check.SwitchFilter), which proves some verifications NOT_ID from
 	// the failing trace alone and answers them without a switched
@@ -252,6 +258,7 @@ func Locate(spec *Spec) (*Report, error) {
 	cx := slicing.NewContext(spec.Program, tr)
 	cx.CrossFunction = spec.CrossFunctionPD
 	an := confidence.New(spec.Program, g, spec.Profile, correct, wrong)
+	an.Incremental = !spec.NoIncremental
 	rec.End("slicing", int64(tr.Len()))
 	ver := &implicit.Verifier{
 		C: spec.Program, Input: spec.Input, Orig: tr,
@@ -329,6 +336,11 @@ func Locate(spec *Spec) (*Report, error) {
 	rep.Stats.AlignedRegions = es.AlignedRegions
 	rep.Stats.StrongEdges = g.NumExtraEdges(ddg.StrongImplicit)
 	rep.Stats.ImplicitEdges = g.NumExtraEdges(ddg.Implicit)
+	passes, reeval := an.RepropStats()
+	rep.Stats.Repropagated = reeval
+	if passes > 0 && tr.Len() > 0 {
+		rep.Stats.DirtyFraction = float64(reeval) / (float64(passes) * float64(tr.Len()))
+	}
 	var located int64
 	if rep.Located {
 		located = 1
@@ -368,8 +380,15 @@ func (l *locator) pd(entry int) []slicing.PDep {
 // rank order; benign answers pin the instance and re-rank, corrupted
 // answers are remembered. It stops when every candidate is judged
 // corrupted.
+//
+// Each Compute here is a re-prune: after the first pass it re-propagates
+// only the cone invalidated by the latest expansion edges and pins
+// (unless Spec.NoIncremental). The dirty-set sizes are mode-dependent
+// cost counters and therefore live in Report.Stats
+// (Repropagated/DirtyFraction), not in the journal — the reprune span
+// itself is emitted identically in both modes.
 func (l *locator) pruneSlicing() {
-	l.rec.Begin("confidence")
+	l.rec.Begin("reprune")
 	l.an.Compute()
 	for {
 		repeat := false
@@ -380,7 +399,7 @@ func (l *locator) pruneSlicing() {
 			if l.spec.Oracle.IsBenign(l.cx.T, cand.Entry) {
 				l.rep.Stats.UserPrunings++
 				l.rec.Count("pruned_entries", 1)
-				l.an.MarkBenign(cand.Entry)
+				l.an.Pin(cand.Entry)
 				l.an.Compute()
 				repeat = true
 				break
@@ -388,7 +407,7 @@ func (l *locator) pruneSlicing() {
 			l.judged[cand.Entry] = true
 		}
 		if !repeat {
-			l.rec.End("confidence", int64(len(l.an.FaultCandidates())))
+			l.rec.End("reprune", int64(len(l.an.FaultCandidates())))
 			return
 		}
 	}
@@ -452,7 +471,7 @@ func (l *locator) expand(u int) bool {
 	// p ∈ PD(t) (Algorithm 2 lines 12-18).
 	added := false
 	for _, pd := range group {
-		l.rep.Graph.AddEdge(u, pd.Pred, kind)
+		l.an.AddEdges(confidence.Arc{From: u, To: pd.Pred, Kind: kind})
 		l.rep.Stats.ExpandedEdges++
 		added = true
 		var sibReqs []implicit.Request
@@ -470,7 +489,7 @@ func (l *locator) expand(u int) bool {
 		}
 		for i, v := range l.eng.VerifyBatch(sibReqs) {
 			if v == verdict {
-				l.rep.Graph.AddEdge(sibUse[i], pd.Pred, kind)
+				l.an.AddEdges(confidence.Arc{From: sibUse[i], To: pd.Pred, Kind: kind})
 				l.rep.Stats.ExpandedEdges++
 			}
 		}
@@ -483,25 +502,22 @@ func (l *locator) expand(u int) bool {
 // entries in the wrong output's slice and the correct outputs' closures —
 // the entries whose confidence matters for pruning.
 func (l *locator) siblingUses(p, u int) []int {
-	relevant := map[int]bool{}
-	for e := range l.an.Slice() {
-		relevant[e] = true
-	}
+	// The slice snapshot is from the last Compute (by design: candidates
+	// were ranked on it); the correct-output closures run over the current
+	// graph, including edges added earlier in this expansion.
+	relevant := l.an.Slice().Clone()
 	for _, o := range l.an.CorrectOuts {
-		for e := range l.rep.Graph.BackwardSlice(l.an.Kinds, o.Entry) {
-			relevant[e] = true
-		}
+		l.rep.Graph.Extend(relevant, l.an.Kinds, o.Entry)
 	}
 	var res []int
-	for e := range relevant {
+	// Bitset iteration is ascending entry order — the stable order both
+	// the VerifyLog and reproducible batch scheduling need.
+	relevant.ForEach(func(e int) {
 		if e == u || e <= p {
-			continue
+			return
 		}
 		res = append(res, e)
-	}
-	// Ascending entry order: the set comes out of map iteration, and both
-	// the VerifyLog and reproducible batch scheduling need a stable order.
-	sort.Ints(res)
+	})
 	return res
 }
 
@@ -509,9 +525,9 @@ func (l *locator) siblingUses(p, u int) []int {
 func (l *locator) finish() {
 	l.an.Compute()
 	cands := l.an.FaultCandidates()
-	ips := map[int]bool{}
+	ips := ddg.NewSet(l.cx.T.Len())
 	for _, c := range cands {
-		ips[c.Entry] = true
+		ips.Add(c.Entry)
 		l.rep.IPSEntries = append(l.rep.IPSEntries, c.Entry)
 		l.rep.IPSConfidence = append(l.rep.IPSConfidence, c.Conf)
 	}

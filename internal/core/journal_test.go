@@ -76,6 +76,43 @@ func TestJournalDeterminismFig1(t *testing.T) {
 	}
 }
 
+// TestJournalDeterminismIncremental: the journal must be byte-identical
+// with incremental re-pruning on vs off — the mode-dependent cost
+// counters (Stats.Repropagated, Stats.DirtyFraction) live only in the
+// Report, never in the event stream (docs/OBSERVABILITY.md).
+func TestJournalDeterminismIncremental(t *testing.T) {
+	specFull, specInc := fig1DetSpec(t), fig1DetSpec(t)
+	specFull.NoIncremental = true
+	want := journalFor(t, specFull, 1, -1)
+	got := journalFor(t, specInc, 1, -1)
+	if !bytes.Equal(want, got) {
+		t.Errorf("journal differs between incremental off and on\n%s", diffLine(want, got))
+	}
+
+	for _, name := range []string{"grepsim/V4-F2", "sedsim/V3-F2"} {
+		c := bench.ByName(name)
+		if c == nil {
+			t.Fatalf("unknown case %s", name)
+		}
+		pA, err := c.Prepare()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pB, err := c.Prepare()
+		if err != nil {
+			t.Fatal(err)
+		}
+		specFull := pA.Spec()
+		specFull.NoIncremental = true
+		want := journalFor(t, specFull, 4, 0)
+		got := journalFor(t, pB.Spec(), 4, 0)
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: journal differs between incremental off and on\n%s",
+				name, diffLine(want, got))
+		}
+	}
+}
+
 // TestJournalDeterminismSed: the same byte-level comparison on the
 // hardest benchmark cases — the largest verification batches, where the
 // cache and the skip-filter actually fire.

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"eol/internal/confidence"
 	"eol/internal/ddg"
 	"eol/internal/implicit"
 	"eol/internal/lang/ast"
@@ -42,7 +43,7 @@ func (l *locator) perturbFallback() bool {
 					Def: use.Def, Use: u, Candidates: vals,
 				})
 				if res.Dependent {
-					l.rep.Graph.AddEdge(u, use.Def, ddg.Implicit)
+					l.an.AddEdges(confidence.Arc{From: u, To: use.Def, Kind: ddg.Implicit})
 					l.rep.Stats.ExpandedEdges++
 					added = true
 				}

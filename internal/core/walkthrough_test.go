@@ -52,9 +52,9 @@ func TestPaperWalkthrough(t *testing.T) {
 	}
 	an := confidence.New(c, g, nil, correct, wrong)
 	an.Compute()
-	pruned := map[int]bool{}
+	pruned := ddg.NewSet(tr.Len())
 	for _, cand := range an.FaultCandidates() {
-		pruned[cand.Entry] = true
+		pruned.Add(cand.Entry)
 	}
 	if g.ContainsStmt(pruned, s3analog) {
 		t.Error("step 1: the one-to-one analog of S3 must be pruned (it feeds the correct output)")
@@ -100,9 +100,9 @@ func TestPaperWalkthrough(t *testing.T) {
 	// --- Step (4): the new pruned slice contains the root cause and the
 	// whole cause-effect chain {S1, S2, S4, S6, S10}.
 	an.Compute()
-	final := map[int]bool{}
+	final := ddg.NewSet(tr.Len())
 	for _, cand := range an.FaultCandidates() {
-		final[cand.Entry] = true
+		final.Add(cand.Entry)
 	}
 	for _, must := range []int{s1, s2, s4, s6, s10} {
 		if !g.ContainsStmt(final, must) {
@@ -113,7 +113,7 @@ func TestPaperWalkthrough(t *testing.T) {
 	// wrong output in the expanded graph.
 	closure := g.BackwardSlice(ddg.Explicit|ddg.StrongImplicit, wrong.Entry)
 	rootIdx := tr.FindInstance(trace.Instance{Stmt: s1, Occ: 1})
-	if !closure[rootIdx] {
+	if !closure.Has(rootIdx) {
 		t.Error("step 4: the root cause is not reachable from the failure in the expanded graph")
 	}
 }

@@ -127,8 +127,10 @@ func candidateOrder(c *interp.Compiled, orig *interp.Result, expected []int64, s
 			g := ddg.New(tr)
 			dist := g.Distances(ddg.Explicit, seed)
 			inSlice := func(i int) (int, bool) {
-				d, ok := dist[i]
-				return d, ok
+				if dist == nil || dist[i] < 0 {
+					return 0, false
+				}
+				return int(dist[i]), true
 			}
 			sort.SliceStable(all, func(a, b int) bool {
 				da, oka := inSlice(all[a])

@@ -8,233 +8,59 @@
 // classic dynamic slicing (Data|Control), relevant slicing
 // (Data|Control|Potential) and the expanded slices of Algorithm 2
 // (Data|Control|Implicit|StrongImplicit).
+//
+// Since the depgraph refactor this package is a thin naming shim over
+// internal/depgraph, which owns the actual engine: a CSR base graph built
+// once from the trace, a mutable overlay for analysis-added edges, and
+// bitset slice sets (see docs/DEPGRAPH.md). Existing importers keep the
+// ddg vocabulary; new code may import depgraph directly.
 package ddg
 
 import (
-	"sort"
-
+	"eol/internal/depgraph"
 	"eol/internal/trace"
 )
 
 // Kind classifies dependence edges.
-type Kind int
+type Kind = depgraph.Kind
 
 // Edge kinds. Data and Control come from the trace; the others are added
 // by analyses.
 const (
-	Data Kind = 1 << iota
-	Control
-	Potential      // Definition 1 (relevant slicing)
-	Implicit       // Definition 2, verified by predicate switching
-	StrongImplicit // Definition 4
+	Data           = depgraph.Data
+	Control        = depgraph.Control
+	Potential      = depgraph.Potential
+	Implicit       = depgraph.Implicit
+	StrongImplicit = depgraph.StrongImplicit
 )
 
 // Explicit selects the dependences observable during execution.
-const Explicit = Data | Control
-
-// String names the kind.
-func (k Kind) String() string {
-	switch k {
-	case Data:
-		return "dd"
-	case Control:
-		return "cd"
-	case Potential:
-		return "pd"
-	case Implicit:
-		return "id"
-	case StrongImplicit:
-		return "sid"
-	}
-	return "?"
-}
+const Explicit = depgraph.Explicit
 
 // Edge is a dependence from a later entry to an earlier one it depends on.
-type Edge struct {
-	To   int
-	Kind Kind
-}
+type Edge = depgraph.Edge
 
 // Graph is a dynamic dependence graph over one trace.
-type Graph struct {
-	T     *trace.Trace
-	extra map[int][]Edge
-}
+type Graph = depgraph.Graph
 
-// New wraps a trace. Data and control dependences come from the trace
-// itself; extra edges start empty.
-func New(t *trace.Trace) *Graph {
-	return &Graph{T: t, extra: map[int][]Edge{}}
-}
+// Set is a bitset of trace entries; see depgraph.Set.
+type Set = depgraph.Set
 
-// AddEdge records an analysis-added dependence from entry `from` to entry
-// `to` of the given kind. Duplicate edges are ignored.
-func (g *Graph) AddEdge(from, to int, kind Kind) {
-	for _, e := range g.extra[from] {
-		if e.To == to && e.Kind == kind {
-			return
-		}
-	}
-	g.extra[from] = append(g.extra[from], Edge{To: to, Kind: kind})
-}
+// SliceStats summarizes a slice in the paper's "static/dynamic" terms.
+type SliceStats = depgraph.SliceStats
 
-// ExtraEdges returns the analysis-added edges out of entry i.
-func (g *Graph) ExtraEdges(i int) []Edge { return g.extra[i] }
+// DOTOptions configure graph export.
+type DOTOptions = depgraph.DOTOptions
 
-// NumExtraEdges counts all analysis-added edges of the given kinds.
-func (g *Graph) NumExtraEdges(kinds Kind) int {
-	n := 0
-	for _, es := range g.extra {
-		for _, e := range es {
-			if e.Kind&kinds != 0 {
-				n++
-			}
-		}
-	}
-	return n
-}
+// New builds the graph for a trace: the CSR base holds the data and
+// control dependences; extra edges start empty.
+func New(t *trace.Trace) *Graph { return depgraph.New(t) }
 
-// Deps appends to buf the dependences of entry i restricted to kinds, and
-// returns it. Data edges come from the entry's use records, the control
-// edge from its region parent.
-func (g *Graph) Deps(i int, kinds Kind, buf []Edge) []Edge {
-	e := g.T.At(i)
-	if kinds&Data != 0 {
-		for _, u := range e.Uses {
-			if u.Def >= 0 {
-				buf = append(buf, Edge{To: u.Def, Kind: Data})
-			}
-		}
-	}
-	if kinds&Control != 0 && e.Parent >= 0 {
-		buf = append(buf, Edge{To: e.Parent, Kind: Control})
-	}
-	for _, x := range g.extra[i] {
-		if x.Kind&kinds != 0 {
-			buf = append(buf, x)
-		}
-	}
-	return buf
-}
+// NewSet returns an empty entry set sized for the trace.
+func NewSet(n int) *Set { return depgraph.NewSet(n) }
 
-// BackwardSlice computes the transitive closure of the seed entries over
-// the given edge kinds. The result includes the seeds.
-func (g *Graph) BackwardSlice(kinds Kind, seeds ...int) map[int]bool {
-	slice := map[int]bool{}
-	var work []int
-	for _, s := range seeds {
-		if s >= 0 && !slice[s] {
-			slice[s] = true
-			work = append(work, s)
-		}
-	}
-	var buf []Edge
-	for len(work) > 0 {
-		n := work[len(work)-1]
-		work = work[:len(work)-1]
-		buf = g.Deps(n, kinds, buf[:0])
-		for _, e := range buf {
-			if !slice[e.To] {
-				slice[e.To] = true
-				work = append(work, e.To)
-			}
-		}
-	}
-	return slice
-}
-
-// ForwardReach computes the set of entries reachable forward from the
-// seeds, i.e. entries whose backward closure would include a seed. Used
-// by confidence analysis ("does this instance influence output o?").
-func (g *Graph) ForwardReach(kinds Kind, seeds ...int) map[int]bool {
-	// Build a forward adjacency on demand (deps reversed).
-	fwd := make([][]int32, g.T.Len())
-	var buf []Edge
-	for i := 0; i < g.T.Len(); i++ {
-		buf = g.Deps(i, kinds, buf[:0])
-		for _, e := range buf {
-			fwd[e.To] = append(fwd[e.To], int32(i))
-		}
-	}
-	reach := map[int]bool{}
-	var work []int
-	for _, s := range seeds {
-		if s >= 0 && !reach[s] {
-			reach[s] = true
-			work = append(work, s)
-		}
-	}
-	for len(work) > 0 {
-		n := work[len(work)-1]
-		work = work[:len(work)-1]
-		for _, m := range fwd[n] {
-			if !reach[int(m)] {
-				reach[int(m)] = true
-				work = append(work, int(m))
-			}
-		}
-	}
-	return reach
-}
-
-// Distances computes, for every entry in the backward closure of seed,
-// its minimal dependence distance (edge count) to the seed. Used for
-// ranking fault candidates.
-func (g *Graph) Distances(kinds Kind, seed int) map[int]int {
-	dist := map[int]int{}
-	if seed < 0 {
-		return dist
-	}
-	dist[seed] = 0
-	queue := []int{seed}
-	var buf []Edge
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		buf = g.Deps(n, kinds, buf[:0])
-		for _, e := range buf {
-			if _, seen := dist[e.To]; !seen {
-				dist[e.To] = dist[n] + 1
-				queue = append(queue, e.To)
-			}
-		}
-	}
-	return dist
-}
-
-// SliceStats summarizes a slice in the paper's "static/dynamic" terms:
-// the number of unique source statements and the number of statement
-// instances.
-type SliceStats struct {
-	Static  int
-	Dynamic int
-}
-
-// Stats computes slice statistics for a set of trace entries.
-func (g *Graph) Stats(slice map[int]bool) SliceStats {
-	return SliceStats{
-		Static:  len(g.T.UniqueStmts(slice)),
-		Dynamic: len(slice),
-	}
-}
-
-// SortedEntries returns the slice's entries in execution order.
-func SortedEntries(slice map[int]bool) []int {
-	res := make([]int, 0, len(slice))
-	for i := range slice {
-		res = append(res, i)
-	}
-	sort.Ints(res)
-	return res
-}
-
-// ContainsStmt reports whether any instance of statement id is in the
-// slice.
-func (g *Graph) ContainsStmt(slice map[int]bool, stmt int) bool {
-	for i := range slice {
-		if g.T.At(i).Inst.Stmt == stmt {
-			return true
-		}
-	}
-	return false
-}
+// SortedEntries returns the slice's entries in execution order. The
+// bitset already iterates in ascending index order, which is exactly the
+// order the old map-based API produced by sorting keys — callers relying
+// on that order (VerifyLog, journal, goldens) see identical bytes.
+func SortedEntries(slice *Set) []int { return slice.Ordered() }

@@ -1,7 +1,6 @@
 package ddg
 
 import (
-	"reflect"
 	"sort"
 	"testing"
 
@@ -24,6 +23,18 @@ func chainTrace() *trace.Trace {
 	return t
 }
 
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestKinds(t *testing.T) {
 	names := map[Kind]string{
 		Data: "dd", Control: "cd", Potential: "pd",
@@ -39,52 +50,53 @@ func TestKinds(t *testing.T) {
 	}
 }
 
-func TestDeps(t *testing.T) {
+func TestEachDep(t *testing.T) {
 	g := New(chainTrace())
-	var buf []Edge
-	buf = g.Deps(2, Explicit, buf[:0])
-	// e2 has one data dep (on 1) and one control dep (on 1).
-	if len(buf) != 2 {
-		t.Fatalf("deps = %v", buf)
+	var got []Edge
+	g.EachDep(2, Explicit, func(e Edge) { got = append(got, e) })
+	// e2 has one data dep (on 1) and one control dep (on 1), data first.
+	if len(got) != 2 {
+		t.Fatalf("deps = %v", got)
 	}
-	kinds := map[Kind]int{}
-	for _, e := range buf {
-		kinds[e.Kind]++
+	if got[0].Kind != Data || got[1].Kind != Control {
+		t.Errorf("dep order = %v, want data then control", got)
+	}
+	for _, e := range got {
 		if e.To != 1 {
 			t.Errorf("dep target %d, want 1", e.To)
 		}
 	}
-	if kinds[Data] != 1 || kinds[Control] != 1 {
-		t.Errorf("kinds = %v", kinds)
-	}
 	// Restricting kinds filters.
-	buf = g.Deps(2, Control, buf[:0])
-	if len(buf) != 1 || buf[0].Kind != Control {
-		t.Errorf("control-only deps = %v", buf)
+	got = got[:0]
+	g.EachDep(2, Control, func(e Edge) { got = append(got, e) })
+	if len(got) != 1 || got[0].Kind != Control {
+		t.Errorf("control-only deps = %v", got)
 	}
 }
 
 func TestBackwardSliceAndExtraEdges(t *testing.T) {
 	g := New(chainTrace())
 	s := g.BackwardSlice(Explicit, 2)
-	if !reflect.DeepEqual(s, map[int]bool{0: true, 1: true, 2: true}) {
-		t.Errorf("slice = %v", s)
+	if !equalInts(s.Ordered(), []int{0, 1, 2}) {
+		t.Errorf("slice = %v", s.Ordered())
 	}
 	// Restrict to data only from entry 1: {1, 0}.
 	s = g.BackwardSlice(Data, 1)
-	if !reflect.DeepEqual(s, map[int]bool{0: true, 1: true}) {
-		t.Errorf("data slice = %v", s)
+	if !equalInts(s.Ordered(), []int{0, 1}) {
+		t.Errorf("data slice = %v", s.Ordered())
 	}
 
 	// An implicit edge extends the closure.
 	g2 := New(chainTrace())
 	g2.AddEdge(0, 2, Implicit) // nonsensical direction is fine for the test
 	s = g2.BackwardSlice(Explicit|Implicit, 0)
-	if !s[2] {
-		t.Errorf("implicit edge not followed: %v", s)
+	if !s.Has(2) {
+		t.Errorf("implicit edge not followed: %v", s.Ordered())
 	}
 	// Duplicate adds are ignored.
-	g2.AddEdge(0, 2, Implicit)
+	if g2.AddEdge(0, 2, Implicit) {
+		t.Error("duplicate AddEdge reported as new")
+	}
 	if n := g2.NumExtraEdges(Implicit); n != 1 {
 		t.Errorf("extra edges = %d, want 1", n)
 	}
@@ -96,15 +108,36 @@ func TestBackwardSliceAndExtraEdges(t *testing.T) {
 	}
 }
 
+func TestVersionCounter(t *testing.T) {
+	g := New(chainTrace())
+	if g.Version() != 0 {
+		t.Errorf("fresh graph version = %d", g.Version())
+	}
+	g.AddEdge(2, 0, Implicit)
+	if g.Version() != 1 {
+		t.Errorf("version after add = %d", g.Version())
+	}
+	g.AddEdge(2, 0, Implicit) // duplicate: no bump
+	if g.Version() != 1 {
+		t.Errorf("version after duplicate add = %d", g.Version())
+	}
+}
+
 func TestForwardReach(t *testing.T) {
 	g := New(chainTrace())
 	r := g.ForwardReach(Explicit, 0)
-	if !reflect.DeepEqual(r, map[int]bool{0: true, 1: true, 2: true}) {
-		t.Errorf("forward reach from 0 = %v", r)
+	if !equalInts(r.Ordered(), []int{0, 1, 2}) {
+		t.Errorf("forward reach from 0 = %v", r.Ordered())
 	}
 	r = g.ForwardReach(Explicit, 2)
-	if !reflect.DeepEqual(r, map[int]bool{2: true}) {
-		t.Errorf("forward reach from sink = %v", r)
+	if !equalInts(r.Ordered(), []int{2}) {
+		t.Errorf("forward reach from sink = %v", r.Ordered())
+	}
+	// Overlay edges take part too.
+	g.AddEdge(2, 0, Implicit)
+	r = g.ForwardReach(Implicit, 0)
+	if !r.Has(2) {
+		t.Errorf("forward reach missing overlay consumer: %v", r.Ordered())
 	}
 }
 
@@ -114,7 +147,7 @@ func TestDistances(t *testing.T) {
 	if d[2] != 0 || d[1] != 1 || d[0] != 2 {
 		t.Errorf("distances = %v", d)
 	}
-	if d := g.Distances(Explicit, -1); len(d) != 0 {
+	if d := g.Distances(Explicit, -1); d != nil {
 		t.Errorf("invalid seed distances = %v", d)
 	}
 }
@@ -126,7 +159,10 @@ func TestStatsAndHelpers(t *testing.T) {
 	tr.Append(trace.Entry{Inst: trace.Instance{Stmt: 1, Occ: 2}, Parent: -1})
 	tr.Append(trace.Entry{Inst: trace.Instance{Stmt: 2, Occ: 1}, Parent: -1})
 	g := New(tr)
-	slice := map[int]bool{0: true, 1: true, 2: true}
+	slice := NewSet(3)
+	slice.Add(0)
+	slice.Add(1)
+	slice.Add(2)
 	st := g.Stats(slice)
 	if st.Static != 2 || st.Dynamic != 3 {
 		t.Errorf("stats = %+v", st)
@@ -134,7 +170,11 @@ func TestStatsAndHelpers(t *testing.T) {
 	if !g.ContainsStmt(slice, 1) || !g.ContainsStmt(slice, 2) || g.ContainsStmt(slice, 3) {
 		t.Error("ContainsStmt broken")
 	}
-	ord := SortedEntries(map[int]bool{2: true, 0: true, 1: true})
+	unordered := NewSet(3)
+	unordered.Add(2)
+	unordered.Add(0)
+	unordered.Add(1)
+	ord := SortedEntries(unordered)
 	if !sort.IntsAreSorted(ord) || len(ord) != 3 {
 		t.Errorf("SortedEntries = %v", ord)
 	}
@@ -142,7 +182,7 @@ func TestStatsAndHelpers(t *testing.T) {
 
 func TestSliceWithNegativeSeed(t *testing.T) {
 	g := New(chainTrace())
-	if s := g.BackwardSlice(Explicit, -1); len(s) != 0 {
-		t.Errorf("negative seed slice = %v", s)
+	if s := g.BackwardSlice(Explicit, -1); s.Len() != 0 {
+		t.Errorf("negative seed slice = %v", s.Ordered())
 	}
 }

@@ -9,7 +9,9 @@ func TestWriteDOT(t *testing.T) {
 	g := New(chainTrace())
 	g.AddEdge(2, 0, StrongImplicit)
 	var sb strings.Builder
-	err := g.WriteDOT(&sb, DOTOptions{Highlight: map[int]bool{2: true}})
+	hl := NewSet(3)
+	hl.Add(2)
+	err := g.WriteDOT(&sb, DOTOptions{Highlight: hl})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +33,10 @@ func TestWriteDOT(t *testing.T) {
 func TestWriteDOTSubset(t *testing.T) {
 	g := New(chainTrace())
 	var sb strings.Builder
-	err := g.WriteDOT(&sb, DOTOptions{Only: map[int]bool{1: true, 2: true}})
+	only := NewSet(3)
+	only.Add(1)
+	only.Add(2)
+	err := g.WriteDOT(&sb, DOTOptions{Only: only})
 	if err != nil {
 		t.Fatal(err)
 	}

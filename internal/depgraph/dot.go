@@ -1,4 +1,4 @@
-package ddg
+package depgraph
 
 import (
 	"fmt"
@@ -8,25 +8,27 @@ import (
 // DOTOptions configure graph export.
 type DOTOptions struct {
 	// Only restricts the export to these entries (nil = whole trace).
-	Only map[int]bool
+	Only *Set
 	// Kinds selects the edges to draw (0 = all).
 	Kinds Kind
 	// Label renders a node label; defaults to the statement instance.
 	Label func(entry int) string
 	// Highlight nodes get a distinct fill (e.g. the failure point, the
 	// root cause).
-	Highlight map[int]bool
+	Highlight *Set
 }
 
 // WriteDOT renders the dependence graph in Graphviz DOT format. Edge
 // styles distinguish kinds: solid = data, dashed = control, dotted =
-// potential, bold = implicit / strong implicit.
+// potential, bold = implicit / strong implicit. Base edges render first
+// (data in use order, then control), then overlay edges in insertion
+// order — the same order EachDep traverses.
 func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
 	kinds := opts.Kinds
 	if kinds == 0 {
-		kinds = Data | Control | Potential | Implicit | StrongImplicit
+		kinds = AnyKind
 	}
-	include := func(i int) bool { return opts.Only == nil || opts.Only[i] }
+	include := func(i int) bool { return opts.Only == nil || opts.Only.Has(i) }
 	label := opts.Label
 	if label == nil {
 		label = func(i int) string { return g.T.At(i).Inst.String() }
@@ -43,25 +45,23 @@ func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
 			continue
 		}
 		attrs := ""
-		if opts.Highlight[i] {
+		if opts.Highlight.Has(i) {
 			attrs = `, style=filled, fillcolor="#ffd7d7"`
 		}
 		fmt.Fprintf(w, "  n%d [label=%q%s];\n", i, label(i), attrs)
 	}
 
-	var buf []Edge
 	for i := 0; i < g.T.Len(); i++ {
 		if !include(i) {
 			continue
 		}
-		buf = g.Deps(i, kinds, buf[:0])
-		for _, e := range buf {
+		g.EachDep(i, kinds, func(e Edge) {
 			if !include(e.To) {
-				continue
+				return
 			}
 			style := edgeStyle(e.Kind)
 			fmt.Fprintf(w, "  n%d -> n%d [%s, label=%q];\n", i, e.To, style, e.Kind.String())
-		}
+		})
 	}
 	_, err := fmt.Fprintln(w, "}")
 	return err

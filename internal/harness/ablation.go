@@ -55,11 +55,11 @@ func AblationA() ([]AblationARow, error) {
 		var correct []trace.Output
 		for i := 0; i < seq; i++ {
 			correct = append(correct, *tr.OutputAt(i))
-			for e := range g.BackwardSlice(ddg.Explicit, tr.OutputAt(i).Entry) {
+			g.BackwardSlice(ddg.Explicit, tr.OutputAt(i).Entry).ForEach(func(e int) {
 				for _, pd := range cx.PotentialDeps(e) {
 					g.AddEdge(e, pd.Pred, ddg.Potential)
 				}
-			}
+			})
 		}
 
 		an := confidence.New(p.Faulty, g, p.Profile, correct, *tr.OutputAt(seq))

@@ -150,9 +150,9 @@ func table2Case(p *bench.Prepared) (*Table2Row, error) {
 	}
 	an := confidence.New(p.Faulty, gDS, p.Profile, correct, wrong)
 	an.Compute()
-	ps := map[int]bool{}
+	ps := ddg.NewSet(tr.Len())
 	for _, cand := range an.FaultCandidates() {
-		ps[cand.Entry] = true
+		ps.Add(cand.Entry)
 	}
 
 	row := &Table2Row{
@@ -238,12 +238,12 @@ func failureChain(p *bench.Prepared, rep *core.Report) ddg.SliceStats {
 	corrupted := pairing.Corrupted()
 	slice := rep.Graph.BackwardSlice(
 		ddg.Explicit|ddg.Implicit|ddg.StrongImplicit, rep.WrongOutput.Entry)
-	chain := map[int]bool{}
-	for e := range slice {
+	chain := ddg.NewSet(rep.Trace.Len())
+	slice.ForEach(func(e int) {
 		if corrupted[e] {
-			chain[e] = true
+			chain.Add(e)
 		}
-	}
+	})
 	return rep.Graph.Stats(chain)
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"eol/internal/align"
 	"eol/internal/ddg"
+	"eol/internal/depgraph"
 	"eol/internal/interp"
 	"eol/internal/obs"
 	"eol/internal/region"
@@ -311,9 +312,9 @@ func (v *Verifier) VerifyDetailed(req Request) *Result {
 
 	if v.PathMode {
 		// Safe variant: any explicit dependence path between p' and u'.
-		g := ddg.New(ep)
-		slice := g.BackwardSlice(ddg.Explicit, u)
-		if slice[pPrimeIdx] {
+		// One closure per switched trace: walk the trace directly rather
+		// than building a graph that is discarded immediately.
+		if depgraph.TraceBackward(ep, ddg.Explicit, u).Has(pPrimeIdx) {
 			res.Verdict = ID
 		}
 		return res

@@ -37,6 +37,17 @@ type Stats struct {
 	// AlignedRegions counts code regions walked by the alignment
 	// algorithm (Algorithm 1) during verification.
 	AlignedRegions int64
+
+	// Repropagated counts confidence entries re-evaluated by re-prune
+	// passes after the first (delta passes count their dirty set, full
+	// passes the whole trace); DirtyFraction is Repropagated divided by
+	// passes·trace-length — the mean dirty fraction, 1.0 when incremental
+	// re-pruning is off. Like the worker count, these describe the cost of
+	// the chosen execution mode, not the analysis result, so they are NOT
+	// emitted as journal gauges: the journal must stay byte-identical with
+	// incremental mode on or off (docs/OBSERVABILITY.md).
+	Repropagated  int64
+	DirtyFraction float64
 }
 
 // CacheHitRate returns hits / (hits + misses), or 0 with no lookups.

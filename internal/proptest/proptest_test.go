@@ -120,12 +120,12 @@ func TestSliceOrderingProperty(t *testing.T) {
 			ds := slicing.Dynamic(gDS, o.Entry)
 			gRS := ddg.New(tr)
 			rs := cx.Relevant(gRS, o.Entry)
-			if !ds[o.Entry] || !rs[o.Entry] {
+			if !ds.Has(o.Entry) || !rs.Has(o.Entry) {
 				t.Fatal("slice missing its seed")
 			}
 			anc := tr.Ancestry()
-			for e := range ds {
-				if !rs[e] {
+			ds.ForEach(func(e int) {
+				if !rs.Has(e) {
 					t.Fatalf("DS entry %d not in RS", e)
 				}
 				// Entries are allocated pre-order, so a callee executed
@@ -135,7 +135,7 @@ func TestSliceOrderingProperty(t *testing.T) {
 				if e > o.Entry && !anc.IsAncestor(o.Entry, e) {
 					t.Fatalf("slice entry %d after the seed %d and outside its region", e, o.Entry)
 				}
-			}
+			})
 			break // one output per program keeps the test fast
 		}
 	})

@@ -67,7 +67,7 @@ func WriteMarkdown(w io.Writer, in Input) error {
 	fmt.Fprintf(w, "## Slices\n\n")
 	fmt.Fprintf(w, "| slice | statements | instances | contains root cause |\n")
 	fmt.Fprintf(w, "|---|---|---|---|\n")
-	containsRoot := func(set map[int]bool) string {
+	containsRoot := func(set *ddg.Set) string {
 		if len(in.RootCause) == 0 {
 			return "n/a"
 		}
@@ -80,9 +80,9 @@ func WriteMarkdown(w io.Writer, in Input) error {
 	}
 	fmt.Fprintf(w, "| dynamic slice (DS) | %d | %d | %s |\n",
 		dsStats.Static, dsStats.Dynamic, containsRoot(ds))
-	ips := map[int]bool{}
+	ips := ddg.NewSet(tr.Len())
 	for _, e := range rep.IPSEntries {
-		ips[e] = true
+		ips.Add(e)
 	}
 	fmt.Fprintf(w, "| final pruned expanded slice (IPS) | %d | %d | %s |\n\n",
 		rep.IPS.Static, rep.IPS.Dynamic, containsRoot(ips))

@@ -70,7 +70,7 @@ func NewContext(c *interp.Compiled, t *trace.Trace) *Context {
 
 // Dynamic computes the classic dynamic slice: the backward closure of the
 // seeds over explicit dependences only.
-func Dynamic(g *ddg.Graph, seeds ...int) map[int]bool {
+func Dynamic(g *ddg.Graph, seeds ...int) *ddg.Set {
 	return g.BackwardSlice(ddg.Explicit, seeds...)
 }
 
@@ -183,29 +183,25 @@ func (cx *Context) PotentialDeps(u int) []PDep {
 // over explicit dependences plus potential dependences, which are
 // discovered on demand for every entry that enters the slice and recorded
 // in g as Potential edges.
-func (cx *Context) Relevant(g *ddg.Graph, seeds ...int) map[int]bool {
-	slice := map[int]bool{}
+func (cx *Context) Relevant(g *ddg.Graph, seeds ...int) *ddg.Set {
+	slice := ddg.NewSet(cx.T.Len())
 	var work []int
 	for _, s := range seeds {
-		if s >= 0 && !slice[s] {
-			slice[s] = true
+		if slice.Add(s) {
 			work = append(work, s)
 		}
 	}
-	var buf []ddg.Edge
 	for len(work) > 0 {
 		n := work[len(work)-1]
 		work = work[:len(work)-1]
 		for _, pd := range cx.PotentialDeps(n) {
 			g.AddEdge(n, pd.Pred, ddg.Potential)
 		}
-		buf = g.Deps(n, ddg.Explicit|ddg.Potential, buf[:0])
-		for _, e := range buf {
-			if !slice[e.To] {
-				slice[e.To] = true
+		g.EachDep(n, ddg.Explicit|ddg.Potential, func(e ddg.Edge) {
+			if slice.Add(e.To) {
 				work = append(work, e.To)
 			}
-		}
+		})
 	}
 	return slice
 }

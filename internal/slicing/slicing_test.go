@@ -72,13 +72,13 @@ func TestFig1RelevantSliceCapturesRootCause(t *testing.T) {
 	}
 	// RS is a superset of DS.
 	ds := Dynamic(g, seed)
-	for i := range ds {
-		if !rs[i] {
+	ds.ForEach(func(i int) {
+		if !rs.Has(i) {
 			t.Fatalf("RS must be a superset of DS; entry %d missing", i)
 		}
-	}
-	if len(rs) <= len(ds) {
-		t.Errorf("RS (%d) should be strictly larger than DS (%d) here", len(rs), len(ds))
+	})
+	if rs.Len() <= ds.Len() {
+		t.Errorf("RS (%d) should be strictly larger than DS (%d) here", rs.Len(), ds.Len())
 	}
 }
 

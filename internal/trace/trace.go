@@ -235,16 +235,6 @@ func (t *Trace) RegionDepth(i int) int {
 	return d
 }
 
-// UniqueStmts returns the set of distinct statement IDs appearing in the
-// given set of trace indices.
-func (t *Trace) UniqueStmts(idxs map[int]bool) map[int]bool {
-	res := map[int]bool{}
-	for i := range idxs {
-		res[t.Entries[i].Inst.Stmt] = true
-	}
-	return res
-}
-
 // String summarizes the trace.
 func (t *Trace) String() string {
 	return fmt.Sprintf("trace{%d entries, %d outputs}", len(t.Entries), len(t.Outputs))

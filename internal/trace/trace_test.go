@@ -108,15 +108,6 @@ func TestOutputs(t *testing.T) {
 	}
 }
 
-func TestUniqueStmts(t *testing.T) {
-	tr := buildTree()
-	set := map[int]bool{0: true, 1: true, 3: true} // stmts 1, 2, 2
-	u := tr.UniqueStmts(set)
-	if len(u) != 2 || !u[1] || !u[2] {
-		t.Errorf("UniqueStmts = %v", u)
-	}
-}
-
 // TestAncestryAgreesWithWalk is a property test: the Euler-tour index
 // must agree with the parent-chain walk on random forests.
 func TestAncestryAgreesWithWalk(t *testing.T) {
