@@ -17,6 +17,8 @@
 //	benchtab -cases            list the benchmark error cases
 //	benchtab -workers N        worker-pool size for -table verify
 //	benchtab -cache N          cached-mode cache size for -table verify
+//	benchtab -deadline D       wall-clock bound for the whole run ("2m");
+//	                           on expiry benchtab exits 1 with [deadline]
 //	benchtab -trace FILE       JSONL journal of the observed localizations
 //	benchtab -progress         live phase progress on stderr
 package main
@@ -35,6 +37,7 @@ func main() {
 	ablFlag := flag.String("ablation", "", "ablation to run: A, B, C or D")
 	repsFlag := flag.Int("reps", 20, "timing repetitions for tables 4 and verify")
 	casesFlag := flag.Bool("cases", false, "list benchmark error cases")
+	deadlineFlag := cliutil.RegisterDeadlineFlag(flag.CommandLine)
 	engFlags := cliutil.RegisterEngineFlags(flag.CommandLine)
 	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
@@ -43,11 +46,14 @@ func main() {
 	if err != nil {
 		cliutil.Fatalf("benchtab: %v", err)
 	}
+	ctx, cancel := deadlineFlag.Context()
+	defer cancel()
 	opt := harness.Options{
 		Reps:     *repsFlag,
 		Workers:  engFlags.Workers,
 		Cache:    engFlags.Cache,
 		Observer: observer,
+		Ctx:      ctx,
 	}
 
 	switch {
@@ -56,23 +62,23 @@ func main() {
 			fmt.Printf("%-16s %s\n", c.Name(), c.Description)
 		}
 	case *ablFlag != "":
-		out, err := harness.RenderAblation(*ablFlag)
+		out, err := harness.RenderAblation(ctx, *ablFlag)
 		if err != nil {
-			cliutil.Fatalf("benchtab: %v", err)
+			cliutil.ExitErr("benchtab", err)
 		}
 		fmt.Print(out)
 	case *tableFlag == "all":
 		for _, t := range []string{"1", "2", "3", "4", "verify"} {
 			out, err := harness.Render(t, opt)
 			if err != nil {
-				cliutil.Fatalf("benchtab: %v", err)
+				cliutil.ExitErr("benchtab", err)
 			}
 			fmt.Println(out)
 		}
 	case *tableFlag != "":
 		out, err := harness.Render(*tableFlag, opt)
 		if err != nil {
-			cliutil.Fatalf("benchtab: %v", err)
+			cliutil.ExitErr("benchtab", err)
 		}
 		fmt.Print(out)
 	default:

@@ -35,7 +35,7 @@ func bin(t *testing.T, name string) string {
 			buildErr = err
 			return
 		}
-		for _, tool := range []string{"minic", "slicer", "eoloc", "benchtab", "eolvet"} {
+		for _, tool := range []string{"minic", "slicer", "eoloc", "benchtab", "eolvet", "eolcorpus"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
 			cmd.Dir = repoRoot
 			if out, err := cmd.CombinedOutput(); err != nil {
@@ -345,6 +345,9 @@ func TestExitCodes(t *testing.T) {
 		{"eoloc missing -correct", "eoloc", []string{"testdata/fig1_faulty.mc"}, 2},
 		{"eoloc bad -root", "eoloc", []string{"-correct", "testdata/fig1_fixed.mc", "-input", "1", "-root", "nosuchfragment", "testdata/fig1_faulty.mc"}, 2},
 		{"benchtab no mode", "benchtab", nil, 2},
+		{"eolcorpus no args", "eolcorpus", nil, 2},
+		{"eolcorpus missing manifest", "eolcorpus", []string{"nosuchmanifest.json"}, 1},
+		{"eolcorpus smoke (deadline subject fails)", "eolcorpus", []string{"testdata/corpus/smoke.json"}, 1},
 		{"eolvet ok", "eolvet", []string{"testdata/fig1_fixed.mc"}, 0},
 		{"eolvet findings", "eolvet", []string{"testdata/lint/eol0003.mc"}, 1},
 		{"eolvet missing file", "eolvet", []string{"nosuchfile.mc"}, 1},
@@ -415,5 +418,54 @@ func TestMinicSaveTrace(t *testing.T) {
 	}
 	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
 		t.Errorf("trace file missing or empty: %v", err)
+	}
+}
+
+// TestEolcorpusSmoke drives eolcorpus over the smoke manifest: the two
+// fig1 subjects locate, the slow subject hits its 5ms deadline, and the
+// default JSON output is byte-identical across shard counts.
+func TestEolcorpusSmoke(t *testing.T) {
+	out1, code1 := runExit(t, "eolcorpus", "-shards", "1", "testdata/corpus/smoke.json")
+	out4, code4 := runExit(t, "eolcorpus", "-shards", "4", "testdata/corpus/smoke.json")
+	if code1 != 1 || code4 != 1 {
+		t.Fatalf("exit codes = %d/%d, want 1 (deadline subject fails)\n%s", code1, code4, out1)
+	}
+	// Strip the stderr tail line ("N of M subjects failed"); the JSON
+	// body must be byte-identical between shard counts.
+	strip := func(s string) string {
+		if i := strings.Index(s, "eolcorpus:"); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	if strip(out1) != strip(out4) {
+		t.Errorf("default output differs between -shards 1 and 4:\n--- 1:\n%s\n--- 4:\n%s", out1, out4)
+	}
+	for _, want := range []string{`"name": "fig1"`, `"located": true`, `"class": "deadline"`, `"failed": 1`} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("output missing %s:\n%s", want, out1)
+		}
+	}
+}
+
+// TestEolocDeadline exercises eoloc's -deadline flag: a generous bound
+// changes nothing; a millisecond bound aborts with the deadline class.
+func TestEolocDeadline(t *testing.T) {
+	out, err := runTool(t, "eoloc", "-correct", "testdata/fig1_fixed.mc", "-input", "1",
+		"-root", "read() * 0", "-deadline", "30s", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("eoloc -deadline 30s: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ROOT CAUSE located") {
+		t.Errorf("missing located line:\n%s", out)
+	}
+
+	out, code := runExit(t, "eoloc", "-correct", "testdata/corpus/slow_loop.mc", "-input", "3",
+		"-deadline", "5ms", "testdata/corpus/slow_loop.mc")
+	if code != 1 {
+		t.Fatalf("eoloc -deadline 5ms: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "[deadline]") {
+		t.Errorf("missing [deadline] class tag:\n%s", out)
 	}
 }

@@ -1,0 +1,186 @@
+// Command eolcorpus runs a corpus of localization subjects — a JSON
+// manifest of (faulty program, failing input, expected output) triples —
+// concurrently over a sharded session pool, and reports one JSON
+// document with a per-subject result row plus corpus totals.
+//
+// Usage:
+//
+//	eolcorpus [flags] manifest.json
+//
+//	-shards N       concurrent localization sessions (0 = GOMAXPROCS)
+//	-deadline D     default per-subject wall-clock bound, Go duration
+//	                syntax; a subject's own "deadline" overrides it
+//	-fail-fast      cancel remaining subjects after the first failure
+//	-workers N      verification workers per session (0 = GOMAXPROCS)
+//	-cache N        shared switched-run cache size (negative = off)
+//	-private-cache  per-subject caches instead of one shared cache
+//	-timing         include wall-clock / shard / cache fields, which
+//	                vary run to run (default output is deterministic)
+//	-o FILE         write the JSON result there instead of stdout
+//	-trace FILE     write the deterministic JSONL corpus journal
+//	-progress       print live progress to stderr
+//
+// The default JSON output and the -trace journal carry only
+// scheduling-independent fields and are byte-identical for any -shards
+// value (see docs/CORPUS.md). Exit status: 0 when every subject
+// completed, 1 when any subject failed (deadline, budget, compile
+// error, root cause not located), 2 for command-line misuse.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eol/internal/cliutil"
+	"eol/internal/corpus"
+)
+
+// subjectJSON is one result row. Fields after "ips_dynamic" appear only
+// under -timing: they depend on scheduling and would break the
+// determinism contract of the default output.
+type subjectJSON struct {
+	Name    string `json:"name"`
+	Located bool   `json:"located"`
+	Class   string `json:"class,omitempty"`
+
+	UserPrunings  int `json:"user_prunings"`
+	Verifications int `json:"verifications"`
+	Iterations    int `json:"iterations"`
+	ExpandedEdges int `json:"expanded_edges"`
+	StrongEdges   int `json:"strong_edges"`
+	ImplicitEdges int `json:"implicit_edges"`
+	IPSStatic     int `json:"ips_static"`
+	IPSDynamic    int `json:"ips_dynamic"`
+
+	Error     string  `json:"error,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	Shard     *int    `json:"shard,omitempty"`
+}
+
+type cacheJSON struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+type resultJSON struct {
+	Subjects []subjectJSON `json:"subjects"`
+	Total    int           `json:"total"`
+	Located  int           `json:"located"`
+	Failed   int           `json:"failed"`
+
+	ElapsedMS float64    `json:"elapsed_ms,omitempty"`
+	Shards    int        `json:"shards,omitempty"`
+	Cache     *cacheJSON `json:"cache,omitempty"`
+}
+
+func main() {
+	shardsFlag := flag.Int("shards", 0, "concurrent localization sessions (0 = GOMAXPROCS)")
+	deadlineFlag := flag.Duration("deadline", 0, "default per-subject wall-clock bound (e.g. 30s; 0 = none)")
+	failFastFlag := flag.Bool("fail-fast", false, "cancel remaining subjects after the first failure")
+	privateFlag := flag.Bool("private-cache", false, "per-subject switched-run caches instead of one shared cache")
+	timingFlag := flag.Bool("timing", false, "include scheduling-dependent fields (timings, shards, cache counters)")
+	outFlag := flag.String("o", "", "write the JSON result to this `file` instead of stdout")
+	engFlags := cliutil.RegisterEngineFlags(flag.CommandLine)
+	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		cliutil.Usagef("usage: eolcorpus [flags] manifest.json (see -h)")
+	}
+
+	m, err := corpus.Load(flag.Arg(0))
+	if err != nil {
+		cliutil.Fatalf("eolcorpus: %v", err)
+	}
+
+	observer, closeObs, err := obsFlags.Observer()
+	if err != nil {
+		cliutil.Fatalf("eolcorpus: %v", err)
+	}
+
+	res, err := corpus.Run(context.Background(), m, corpus.Options{
+		Shards:        *shardsFlag,
+		Deadline:      *deadlineFlag,
+		FailFast:      *failFastFlag,
+		VerifyWorkers: engFlags.Workers,
+		CacheSize:     engFlags.Cache,
+		NoSharedCache: *privateFlag,
+		Observer:      observer,
+	})
+	if cerr := closeObs(); cerr != nil {
+		cliutil.Fatalf("eolcorpus: closing -trace journal: %v", cerr)
+	}
+	if err != nil {
+		cliutil.Fatalf("eolcorpus: %v", err)
+	}
+
+	out := resultJSON{
+		Subjects: make([]subjectJSON, len(res.Subjects)),
+		Total:    len(res.Subjects),
+		Located:  res.Located,
+		Failed:   res.Failed,
+	}
+	for i := range res.Subjects {
+		sr := &res.Subjects[i]
+		row := subjectJSON{
+			Name:    sr.Name,
+			Located: sr.Located(),
+			Class:   sr.Class,
+		}
+		if rep := sr.Report; rep != nil {
+			row.UserPrunings = rep.Stats.UserPrunings
+			row.Verifications = rep.Stats.Verifications
+			row.Iterations = rep.Stats.Iterations
+			row.ExpandedEdges = rep.Stats.ExpandedEdges
+			row.StrongEdges = rep.Stats.StrongEdges
+			row.ImplicitEdges = rep.Stats.ImplicitEdges
+			row.IPSStatic = rep.IPS.Static
+			row.IPSDynamic = rep.IPS.Dynamic
+		}
+		if *timingFlag {
+			if sr.Err != nil {
+				row.Error = sr.Err.Error()
+			}
+			row.ElapsedMS = float64(sr.Elapsed) / float64(time.Millisecond)
+			shard := sr.Shard
+			row.Shard = &shard
+		}
+		out.Subjects[i] = row
+	}
+	if *timingFlag {
+		out.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
+		out.Shards = *shardsFlag
+		if res.SharedCache {
+			c := res.Cache
+			rate := 0.0
+			if c.Hits+c.Misses > 0 {
+				rate = float64(c.Hits) / float64(c.Hits+c.Misses)
+			}
+			out.Cache = &cacheJSON{Hits: c.Hits, Misses: c.Misses, Evictions: c.Evictions, HitRate: rate}
+		}
+	}
+
+	enc, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		cliutil.Fatalf("eolcorpus: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *outFlag != "" {
+		if err := os.WriteFile(*outFlag, enc, 0o644); err != nil {
+			cliutil.Fatalf("eolcorpus: %v", err)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	if res.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "eolcorpus: %d of %d subjects failed\n", res.Failed, out.Total)
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,8 @@
 //	                for value profiles
 //	-perturb        enable the value-perturbation fallback (§5)
 //	-report FILE    write a markdown debugging report
+//	-deadline D     wall-clock bound for the whole localization ("30s");
+//	                on expiry eoloc exits 1 with class [deadline]
 //	-workers N      verification workers (0 = GOMAXPROCS, 1 = sequential)
 //	-cache N        switched-run cache size (0 = default, negative = off)
 //	-trace FILE     write the deterministic JSONL run journal
@@ -51,6 +53,7 @@ func main() {
 	profileFlag := flag.String("profile", "", "';'-separated passing inputs for value profiles")
 	perturbFlag := flag.Bool("perturb", false, "enable the value-perturbation fallback")
 	reportFlag := flag.String("report", "", "write a markdown debugging report to this file")
+	deadlineFlag := cliutil.RegisterDeadlineFlag(flag.CommandLine)
 	engFlags := cliutil.RegisterEngineFlags(flag.CommandLine)
 	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
@@ -116,13 +119,13 @@ func main() {
 		spec.Profile = prof
 	}
 
-	rep, err := core.Locate(spec)
+	ctx, cancel := deadlineFlag.Context()
+	rep, err := core.LocateContext(ctx, spec)
+	cancel()
 	if cerr := closeObs(); cerr != nil {
 		cliutil.Fatalf("eoloc: closing -trace journal: %v", cerr)
 	}
-	if err != nil {
-		cliutil.Fatalf("eoloc: %v", err)
-	}
+	cliutil.ExitErr("eoloc", err)
 
 	fmt.Printf("wrong output #%d: got %d, expected %d\n",
 		rep.WrongOutput.Seq, rep.WrongOutput.Value, rep.Vexp)

@@ -1,0 +1,121 @@
+package eol
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"eol/internal/testsupport"
+)
+
+// TestLocateContextPartialDiagnosis cancels a localization up front and
+// checks the facade contract: a non-nil partial Diagnosis plus an error
+// matching both the eol taxonomy and the context sentinels.
+func TestLocateContextPartialDiagnosis(t *testing.T) {
+	s, _, fixed := fig1Session(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	diag, err := s.LocateContext(ctx, WithCorrectVersion(fixed))
+	if err == nil {
+		t.Fatal("canceled LocateContext succeeded")
+	}
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not match ErrCanceled/context.Canceled", err)
+	}
+	if diag == nil {
+		t.Fatal("nil Diagnosis, want partial")
+	}
+	if diag.Located || len(diag.Candidates) != 0 {
+		t.Errorf("aborted diagnosis claims results: located=%v candidates=%d",
+			diag.Located, len(diag.Candidates))
+	}
+}
+
+// TestRunContextDeadline bounds a long-running program by a few
+// milliseconds through the facade.
+func TestRunContextDeadline(t *testing.T) {
+	p := MustCompile(`
+func main() {
+    var x = read();
+    var i = 0;
+    while (i < 100000000) {
+        i = i + 1;
+    }
+    print(x);
+}
+`)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := p.RunContext(ctx, []int64{1}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("RunContext error %v does not match ErrDeadline", err)
+	}
+	if _, err := p.RunPlainContext(ctx, []int64{1}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("RunPlainContext error %v does not match ErrDeadline", err)
+	}
+}
+
+// TestBackgroundWrappersUnchanged pins the migration promise: the
+// context-free entry points still work exactly as before.
+func TestBackgroundWrappersUnchanged(t *testing.T) {
+	s, _, fixed := fig1Session(t)
+	diag, err := s.Locate(WithCorrectVersion(fixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diag.Candidates) == 0 {
+		t.Error("no candidates from the background-context path")
+	}
+}
+
+// TestLocateCorpusFacade drives the corpus service through the public
+// API with an in-memory manifest.
+func TestLocateCorpusFacade(t *testing.T) {
+	m := &CorpusManifest{Subjects: []CorpusSubject{
+		{
+			Name:          "fig1",
+			Source:        testsupport.Fig1Faulty,
+			CorrectSource: testsupport.Fig1Fixed,
+			Input:         testsupport.Fig1Input,
+			RootFrag:      "read() * 0",
+		},
+		{
+			Name:          "fig1-twin",
+			Source:        testsupport.Fig1Faulty,
+			CorrectSource: testsupport.Fig1Fixed,
+			Input:         testsupport.Fig1Input,
+			RootFrag:      "read() * 0",
+		},
+	}}
+	res, err := LocateCorpus(context.Background(), m, CorpusOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Located != 2 || res.Failed != 0 {
+		t.Fatalf("located=%d failed=%d, want 2/0", res.Located, res.Failed)
+	}
+	for i := range res.Subjects {
+		if !res.Subjects[i].Located() {
+			t.Errorf("%s not located: %v", res.Subjects[i].Name, res.Subjects[i].Err)
+		}
+	}
+}
+
+// TestErrNotLocatedTaxonomy checks the exported sentinel flows out of a
+// corpus subject whose root fragment never enters the candidate set.
+func TestErrNotLocatedTaxonomy(t *testing.T) {
+	m := &CorpusManifest{Subjects: []CorpusSubject{{
+		Name:     "never",
+		Source:   "func main() {\n    var a = read();\n    var dead = 7;\n    print(a + 1);\n}",
+		Input:    []int64{1},
+		Expected: []int64{3},
+		RootFrag: "var dead",
+	}}}
+	res, err := LocateCorpus(context.Background(), m, CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Subjects[0].Err, ErrNotLocated) {
+		t.Fatalf("subject error %v does not match ErrNotLocated", res.Subjects[0].Err)
+	}
+}

@@ -18,9 +18,24 @@
 //	s, err := eol.NewSession(p, failingInput, expectedOutput)
 //	diag, err := s.Locate()
 //	if diag.Located { fmt.Println(diag.Explain()) }
+//
+// # Context-first API
+//
+// Every execution entry point has a context-taking form — RunContext,
+// RunPlainContext, RunSwitchedContext, LocateContext, LocateCorpus —
+// that bounds the whole operation, including switched re-executions on
+// the verification workers and the interpreter's step loop, by the
+// given context. The context-free forms (Run, Locate, ...) are thin
+// wrappers over context.Background and remain the right call when no
+// cancellation is needed; code migrating to deadlines only changes the
+// call site, nothing else. A canceled or expired Locate returns a
+// non-nil partial Diagnosis — its Stats reflect the work done up to the
+// abort — together with an error matching ErrCanceled or ErrDeadline
+// via errors.Is. See the error taxonomy next to ErrBudget.
 package eol
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -30,6 +45,7 @@ import (
 	"eol/internal/align"
 	"eol/internal/confidence"
 	"eol/internal/core"
+	"eol/internal/corpus"
 	"eol/internal/ddg"
 	"eol/internal/implicit"
 	"eol/internal/interp"
@@ -111,7 +127,14 @@ type Execution struct {
 
 // Run executes the program with full dependence tracing.
 func (p *Program) Run(input []int64) (*Execution, error) {
-	res := interp.Run(p.c, interp.Options{Input: input, BuildTrace: true})
+	return p.RunContext(context.Background(), input)
+}
+
+// RunContext is Run bounded by ctx (nil = background): the run aborts
+// with an error matching ErrCanceled or ErrDeadline when the context
+// dies mid-execution.
+func (p *Program) RunContext(ctx context.Context, input []int64) (*Execution, error) {
+	res := interp.Run(p.c, interp.Options{Input: input, BuildTrace: true, Ctx: ctx})
 	if res.Err != nil {
 		return nil, res.Err
 	}
@@ -120,7 +143,12 @@ func (p *Program) Run(input []int64) (*Execution, error) {
 
 // RunPlain executes without tracing (the paper's "Plain" mode).
 func (p *Program) RunPlain(input []int64) (*Execution, error) {
-	res := interp.Run(p.c, interp.Options{Input: input})
+	return p.RunPlainContext(context.Background(), input)
+}
+
+// RunPlainContext is RunPlain bounded by ctx (nil = background).
+func (p *Program) RunPlainContext(ctx context.Context, input []int64) (*Execution, error) {
+	res := interp.Run(p.c, interp.Options{Input: input, Ctx: ctx})
 	if res.Err != nil {
 		return nil, res.Err
 	}
@@ -130,8 +158,13 @@ func (p *Program) RunPlain(input []int64) (*Execution, error) {
 // RunSwitched re-executes with the given predicate instance's branch
 // outcome inverted (the paper's predicate switching).
 func (p *Program) RunSwitched(input []int64, pred Instance) (*Execution, error) {
+	return p.RunSwitchedContext(context.Background(), input, pred)
+}
+
+// RunSwitchedContext is RunSwitched bounded by ctx (nil = background).
+func (p *Program) RunSwitchedContext(ctx context.Context, input []int64, pred Instance) (*Execution, error) {
 	res := interp.Run(p.c, interp.Options{
-		Input: input, BuildTrace: true,
+		Input: input, BuildTrace: true, Ctx: ctx,
 		Switch: &interp.SwitchPlan{Stmt: pred.Stmt, Occ: pred.Occ},
 	})
 	if res.Err != nil {
@@ -166,6 +199,26 @@ func (e *Execution) Instances() []Instance {
 
 // ErrNoFailure is returned by NewSession when the output matches.
 var ErrNoFailure = errors.New("eol: output matches the expected output")
+
+// The error taxonomy: every terminal error of a run or localization
+// matches exactly one of these sentinels via errors.Is, however deep
+// the wrapping. ErrDeadline and ErrCanceled additionally match
+// context.DeadlineExceeded and context.Canceled respectively, so code
+// already switching on the context sentinels keeps working.
+var (
+	// ErrBudget reports an execution that exhausted its step budget.
+	ErrBudget = interp.ErrBudget
+	// ErrDeadline reports an operation aborted because its context's
+	// deadline passed.
+	ErrDeadline = interp.ErrDeadline
+	// ErrCanceled reports an operation aborted because its context was
+	// canceled.
+	ErrCanceled = interp.ErrCanceled
+	// ErrNotLocated reports a localization that completed without the
+	// known root cause entering the candidate set; corpus runs classify
+	// such subjects as failures.
+	ErrNotLocated = core.ErrNotLocated
+)
 
 // Session analyzes one failing execution of a program.
 type Session struct {
@@ -549,6 +602,17 @@ func (d *Diagnosis) Explain() string {
 
 // Locate runs the demand-driven localization procedure (Algorithm 2).
 func (s *Session) Locate(opts ...LocateOption) (*Diagnosis, error) {
+	return s.LocateContext(context.Background(), opts...)
+}
+
+// LocateContext is Locate bounded by ctx (nil = background): cancelling
+// ctx or passing its deadline aborts the procedure — including
+// in-flight switched re-executions on the verification workers — with
+// an error matching ErrCanceled or ErrDeadline. The returned Diagnosis
+// is then non-nil and partial: Stats and Timeline reflect the work done
+// up to the abort, while Located and Candidates stay at their zero
+// values.
+func (s *Session) LocateContext(ctx context.Context, opts ...LocateOption) (*Diagnosis, error) {
 	for _, o := range opts {
 		o(&s.settings)
 	}
@@ -557,7 +621,7 @@ func (s *Session) Locate(opts ...LocateOption) (*Diagnosis, error) {
 	var orc core.Oracle
 	switch {
 	case st.Correct != nil:
-		res := interp.Run(st.Correct.c, interp.Options{Input: s.input, BuildTrace: true})
+		res := interp.Run(st.Correct.c, interp.Options{Input: s.input, BuildTrace: true, Ctx: ctx})
 		if res.Err == nil && res.Trace != nil {
 			orc = &oracle.StateOracle{Correct: res.Trace}
 		}
@@ -589,8 +653,8 @@ func (s *Session) Locate(opts ...LocateOption) (*Diagnosis, error) {
 		NoIncremental:   st.NoIncremental,
 		Observer:        observer,
 	}
-	rep, err := core.Locate(spec)
-	if err != nil {
+	rep, err := core.LocateContext(ctx, spec)
+	if rep == nil {
 		return nil, err
 	}
 	d := &Diagnosis{
@@ -600,6 +664,11 @@ func (s *Session) Locate(opts ...LocateOption) (*Diagnosis, error) {
 	}
 	if mem != nil {
 		d.Timeline = mem.Events()
+	}
+	if err != nil {
+		// Aborted (deadline, cancellation): hand back the partial
+		// diagnosis alongside the error.
+		return d, err
 	}
 	if rep.Located {
 		d.Root = rep.Trace.At(rep.RootEntry).Inst
@@ -703,6 +772,44 @@ func WithCrossFunctionPD() LocateOption {
 // comparison boundaries and the value profile instead.
 func WithPerturbFallback() LocateOption {
 	return func(s *Settings) { s.PerturbFallback = true }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus localization
+
+// CorpusManifest describes a batch of localization subjects; see
+// docs/CORPUS.md for the JSON format.
+type CorpusManifest = corpus.Manifest
+
+// CorpusSubject is one subject of a corpus manifest.
+type CorpusSubject = corpus.Subject
+
+// CorpusOptions configures LocateCorpus (shards, deadlines, cache
+// sharing, fail-fast, journal observer).
+type CorpusOptions = corpus.Options
+
+// CorpusResult is the outcome of a corpus run: per-subject results in
+// manifest order plus totals.
+type CorpusResult = corpus.Result
+
+// CorpusSubjectResult is the outcome of one corpus subject.
+type CorpusSubjectResult = corpus.SubjectResult
+
+// LoadCorpus reads and validates a corpus manifest file, resolving
+// subject file references relative to the manifest's directory.
+func LoadCorpus(path string) (*CorpusManifest, error) { return corpus.Load(path) }
+
+// LocateCorpus localizes every subject of the manifest concurrently
+// over a sharded session pool, sharing compiled programs and the
+// switched-run cache across subjects, bounded end to end by ctx.
+// Individual subject failures (deadline, budget, root cause not
+// located) land in their CorpusSubjectResult — classify them with
+// errors.Is against the eol error taxonomy or by the Class field —
+// while LocateCorpus's own error is reserved for an invalid manifest.
+// Per-subject counters, the journal, and the located/failed totals are
+// byte-identical for any shard count; see docs/CORPUS.md.
+func LocateCorpus(ctx context.Context, m *CorpusManifest, opts CorpusOptions) (*CorpusResult, error) {
+	return corpus.Run(ctx, m, opts)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,49 @@
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"time"
+
+	"eol/internal/core"
+)
+
+// DeadlineFlag is the parsed -deadline flag; see RegisterDeadlineFlag.
+type DeadlineFlag struct {
+	// Deadline is the requested wall-clock bound (0 = none).
+	Deadline time.Duration
+}
+
+// RegisterDeadlineFlag registers the shared -deadline flag on fs: a
+// wall-clock bound for the whole operation in Go duration syntax
+// ("30s", "2m"). Zero means unbounded.
+func RegisterDeadlineFlag(fs *flag.FlagSet) *DeadlineFlag {
+	f := &DeadlineFlag{}
+	fs.DurationVar(&f.Deadline, "deadline", 0, "wall-clock bound for the run (e.g. 30s; 0 = none)")
+	return f
+}
+
+// Context returns a context honoring the flag: context.Background when
+// no deadline was requested, a timeout context otherwise. The returned
+// cancel function is always safe to call.
+func (f *DeadlineFlag) Context() (context.Context, context.CancelFunc) {
+	if f.Deadline <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), f.Deadline)
+}
+
+// ExitErr reports err on stderr and exits with the cliutil exit-code
+// contract: nothing happens for a nil err; everything else prints
+// prefix-tagged to stderr and exits 1, with the core.ErrClass name
+// appended for classified errors so scripts can distinguish a deadline
+// from a genuine failure without parsing wrapped error text.
+func ExitErr(prefix string, err error) {
+	if err == nil {
+		return
+	}
+	if class := core.ErrClass(err); class != "" && class != "error" {
+		Fatalf("%s: %v [%s]", prefix, err, class)
+	}
+	Fatalf("%s: %v", prefix, err)
+}

@@ -48,6 +48,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -206,8 +207,52 @@ var ErrNoFailure = errors.New("program output matches the expected output")
 // slice from.
 var ErrMissingOutput = errors.New("failure is a missing output, not a wrong value")
 
+// ErrNotLocated reports a localization that completed without the known
+// root cause entering the fault candidate set. Locate itself never
+// returns it — an unlocated diagnosis is a result, not a failure — but
+// corpus drivers and CLIs that treat "expected to locate, didn't" as an
+// error use it, and errors.Is finds it through their wrapping.
+var ErrNotLocated = errors.New("root cause not located")
+
+// ErrClass names the taxonomy class of a localization error for
+// reporting: "deadline", "canceled", "budget", "not_located",
+// "no_failure", or "error" for everything else ("" for nil). The names
+// are stable — journals and JSON outputs key on them.
+func ErrClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, interp.ErrDeadline):
+		return "deadline"
+	case errors.Is(err, interp.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, interp.ErrBudget):
+		return "budget"
+	case errors.Is(err, ErrNotLocated):
+		return "not_located"
+	case errors.Is(err, ErrNoFailure):
+		return "no_failure"
+	default:
+		return "error"
+	}
+}
+
 // Locate runs the full demand-driven procedure on spec.
 func Locate(spec *Spec) (*Report, error) {
+	return LocateContext(context.Background(), spec)
+}
+
+// LocateContext is Locate bounded by ctx (nil = background): cancelling
+// ctx or passing its deadline aborts the procedure — including in-flight
+// switched re-executions on the verification workers — with an error
+// wrapping interp.ErrCanceled/ErrDeadline. The returned Report is then
+// non-nil and partial: the cost counters (Stats, VerifyLog) reflect the
+// work done up to the abort, while Located/IPS stay at their zero
+// values. Any attached Observer sees a balanced event stream either way.
+func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if spec.Oracle == nil {
 		spec.Oracle = neverBenign{}
 	}
@@ -221,11 +266,11 @@ func Locate(spec *Spec) (*Report, error) {
 
 	// The failing run ("Graph" construction in Table 4 terms).
 	rec.Begin("failing_run")
-	run := interp.Run(spec.Program, interp.Options{Input: spec.Input, BuildTrace: true, Rec: rec})
+	run := interp.Run(spec.Program, interp.Options{Input: spec.Input, BuildTrace: true, Rec: rec, Ctx: ctx})
 	rec.End("failing_run", int64(run.Steps))
 	if run.Err != nil {
 		rec.End("locate", 0)
-		return nil, fmt.Errorf("failing run aborted: %w", run.Err)
+		return &Report{}, fmt.Errorf("failing run aborted: %w", run.Err)
 	}
 	tr := run.Trace
 
@@ -264,7 +309,7 @@ func Locate(spec *Spec) (*Report, error) {
 		C: spec.Program, Input: spec.Input, Orig: tr,
 		WrongOut: wrong, Vexp: vexp, HasVexp: hasVexp,
 		PathMode: spec.PathMode, BudgetFactor: spec.BudgetFactor,
-		Rec: rec,
+		Rec: rec, Ctx: ctx,
 	}
 
 	engCfg := verifyengine.Config{
@@ -272,6 +317,7 @@ func Locate(spec *Spec) (*Report, error) {
 		CacheSize: spec.VerifyCacheSize,
 		Cache:     spec.VerifyCache,
 		Rec:       rec,
+		Ctx:       ctx,
 	}
 	// Static skip-filter: answers provably-NOT_ID verifications without a
 	// switched run. Unsound under PathMode (taint through allowed suffix
@@ -287,11 +333,13 @@ func Locate(spec *Spec) (*Report, error) {
 
 	rep := &Report{WrongOutput: wrong, Vexp: vexp, Trace: tr, Graph: g}
 
-	l := &locator{spec: spec, cx: cx, an: an, ver: ver, eng: eng, rep: rep,
+	l := &locator{spec: spec, ctx: ctx, cx: cx, an: an, ver: ver, eng: eng, rep: rep,
 		rec: rec, pdCache: map[int][]slicing.PDep{}, judged: map[int]bool{}}
 
 	// Initial PruneSlicing (Algorithm 2 line 3).
-	l.pruneSlicing()
+	if err := l.pruneSlicing(); err != nil {
+		return l.abort(err)
+	}
 
 	expanded := map[int]bool{}
 	for iter := 0; iter < maxIter; iter++ {
@@ -300,6 +348,7 @@ func Locate(spec *Spec) (*Report, error) {
 		}
 		rec.Begin("iteration", "n", strconv.Itoa(iter+1))
 		added := false
+		var expErr error
 		// Select uses u from PS by rank until one yields edges
 		// (Algorithm 2 lines 5-18).
 		for _, cand := range l.an.FaultCandidates() {
@@ -307,40 +356,40 @@ func Locate(spec *Spec) (*Report, error) {
 				continue
 			}
 			expanded[cand.Entry] = true
-			if l.expand(cand.Entry) {
+			ok, err := l.expand(cand.Entry)
+			if err != nil {
+				expErr = err
+				break
+			}
+			if ok {
 				added = true
 				break
 			}
 		}
-		if !added && spec.PerturbFallback {
+		if expErr == nil && !added && spec.PerturbFallback {
 			added = l.perturbFallback()
+			if err := ctx.Err(); err != nil {
+				expErr = fmt.Errorf("perturbation fallback aborted: %w", interp.CtxErr(err))
+			}
+		}
+		if expErr != nil {
+			rec.End("iteration", 0)
+			return l.abort(expErr)
 		}
 		if !added {
 			rec.End("iteration", 0)
 			break // no unexpanded candidates produced edges: give up
 		}
 		rep.Stats.Iterations++
-		l.pruneSlicing() // Algorithm 2 line 19
+		err := l.pruneSlicing() // Algorithm 2 line 19
 		rec.End("iteration", 1)
+		if err != nil {
+			return l.abort(err)
+		}
 	}
 
 	l.finish()
-	rep.Stats.Verifications = ver.Verifications
-	rep.VerifyLog = ver.Log
-	es := eng.Stats()
-	rep.Stats.SwitchedRuns = es.Runs
-	rep.Stats.CacheHits = es.CacheHits
-	rep.Stats.CacheMisses = es.CacheMisses
-	rep.Stats.CacheEvictions = es.CacheEvictions
-	rep.Stats.StaticSkips = es.StaticSkips
-	rep.Stats.AlignedRegions = es.AlignedRegions
-	rep.Stats.StrongEdges = g.NumExtraEdges(ddg.StrongImplicit)
-	rep.Stats.ImplicitEdges = g.NumExtraEdges(ddg.Implicit)
-	passes, reeval := an.RepropStats()
-	rep.Stats.Repropagated = reeval
-	if passes > 0 && tr.Len() > 0 {
-		rep.Stats.DirtyFraction = float64(reeval) / (float64(passes) * float64(tr.Len()))
-	}
+	l.finalizeStats()
 	var located int64
 	if rep.Located {
 		located = 1
@@ -355,6 +404,7 @@ func Locate(spec *Spec) (*Report, error) {
 
 type locator struct {
 	spec    *Spec
+	ctx     context.Context
 	cx      *slicing.Context
 	an      *confidence.Analyzer
 	ver     *implicit.Verifier
@@ -387,10 +437,17 @@ func (l *locator) pd(entry int) []slicing.PDep {
 // cost counters and therefore live in Report.Stats
 // (Repropagated/DirtyFraction), not in the journal — the reprune span
 // itself is emitted identically in both modes.
-func (l *locator) pruneSlicing() {
+func (l *locator) pruneSlicing() error {
 	l.rec.Begin("reprune")
 	l.an.Compute()
 	for {
+		// One cancellation checkpoint per pinning round: propagation and
+		// the oracle calls are pure CPU, so this is where a deadline that
+		// fired during slicing or confidence analysis is observed.
+		if err := l.ctx.Err(); err != nil {
+			l.rec.End("reprune", 0)
+			return fmt.Errorf("pruning aborted: %w", interp.CtxErr(err))
+		}
 		repeat := false
 		for _, cand := range l.an.FaultCandidates() {
 			if l.judged[cand.Entry] {
@@ -408,8 +465,44 @@ func (l *locator) pruneSlicing() {
 		}
 		if !repeat {
 			l.rec.End("reprune", int64(len(l.an.FaultCandidates())))
-			return
+			return nil
 		}
+	}
+}
+
+// abort finalizes a cancelled run into a usable partial report: the cost
+// counters reached so far are filled in, the stats gauges are emitted
+// and the locate span is closed, so an attached journal stays balanced
+// and Diagnosis.Stats is populated even though no verdict was reached.
+func (l *locator) abort(err error) (*Report, error) {
+	l.finalizeStats()
+	l.rep.Stats.Emit(l.rec)
+	if l.rec.Enabled() {
+		l.rec.Gauge("located", 0)
+	}
+	l.rec.End("locate", 0)
+	return l.rep, err
+}
+
+// finalizeStats folds the verifier's, engine's and analyzer's cost
+// counters into the report. Safe on the partial state of an aborted run.
+func (l *locator) finalizeStats() {
+	rep := l.rep
+	rep.Stats.Verifications = l.ver.Verifications
+	rep.VerifyLog = l.ver.Log
+	es := l.eng.Stats()
+	rep.Stats.SwitchedRuns = es.Runs
+	rep.Stats.CacheHits = es.CacheHits
+	rep.Stats.CacheMisses = es.CacheMisses
+	rep.Stats.CacheEvictions = es.CacheEvictions
+	rep.Stats.StaticSkips = es.StaticSkips
+	rep.Stats.AlignedRegions = es.AlignedRegions
+	rep.Stats.StrongEdges = rep.Graph.NumExtraEdges(ddg.StrongImplicit)
+	rep.Stats.ImplicitEdges = rep.Graph.NumExtraEdges(ddg.Implicit)
+	passes, reeval := l.an.RepropStats()
+	rep.Stats.Repropagated = reeval
+	if passes > 0 && l.cx.T.Len() > 0 {
+		rep.Stats.DirtyFraction = float64(reeval) / (float64(passes) * float64(l.cx.T.Len()))
 	}
 }
 
@@ -438,10 +531,10 @@ func (l *locator) rootInCandidates() bool {
 // back in the batch's own order — PD(u) enumeration order first, then
 // per verified predicate the sibling uses in ascending entry order — so
 // the log and counters match a sequential pass over the same order.
-func (l *locator) expand(u int) bool {
+func (l *locator) expand(u int) (bool, error) {
 	pds := l.pd(u)
 	if len(pds) == 0 {
-		return false
+		return false, nil
 	}
 
 	// Group by verdict (Algorithm 2 lines 6-9).
@@ -451,8 +544,12 @@ func (l *locator) expand(u int) bool {
 			Pred: pd.Pred, Use: u, UseSym: pd.UseSym, UseElem: pd.UseElem,
 		}
 	}
+	vs, err := l.eng.VerifyBatchContext(l.ctx, reqs)
+	if err != nil {
+		return false, err
+	}
 	byVerdict := map[implicit.Verdict][]slicing.PDep{}
-	for i, v := range l.eng.VerifyBatch(reqs) {
+	for i, v := range vs {
 		byVerdict[v] = append(byVerdict[v], pds[i])
 	}
 	kind := ddg.StrongImplicit
@@ -464,7 +561,7 @@ func (l *locator) expand(u int) bool {
 		group = byVerdict[implicit.ID]
 	}
 	if len(group) == 0 {
-		return false
+		return false, nil
 	}
 
 	// Add edges for u itself, then verify sibling uses t with
@@ -487,14 +584,18 @@ func (l *locator) expand(u int) bool {
 				sibUse = append(sibUse, t)
 			}
 		}
-		for i, v := range l.eng.VerifyBatch(sibReqs) {
+		sibVs, err := l.eng.VerifyBatchContext(l.ctx, sibReqs)
+		if err != nil {
+			return added, err
+		}
+		for i, v := range sibVs {
 			if v == verdict {
 				l.an.AddEdges(confidence.Arc{From: sibUse[i], To: pd.Pred, Kind: kind})
 				l.rep.Stats.ExpandedEdges++
 			}
 		}
 	}
-	return added
+	return added, nil
 }
 
 // siblingUses enumerates other entries t that might potentially depend on

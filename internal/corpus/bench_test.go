@@ -1,0 +1,66 @@
+package corpus
+
+import (
+	"context"
+	"testing"
+
+	"eol/internal/bench"
+	"eol/internal/obs"
+)
+
+// repeatManifest builds a corpus of n sessions of the same benchmark
+// case — the "many localizations of one program family" workload that
+// cross-session cache sharing targets.
+func repeatManifest(b *testing.B, n int) *Manifest {
+	b.Helper()
+	c := bench.Cases()[0]
+	faulty, err := c.FaultySrc()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := &Manifest{}
+	for i := 0; i < n; i++ {
+		m.Subjects = append(m.Subjects, Subject{
+			Name:          c.Name() + "-" + string(rune('a'+i)),
+			Source:        faulty,
+			CorrectSource: c.CorrectSrc,
+			Input:         c.FailingInput,
+			RootFrag:      c.RootFrag,
+		})
+	}
+	return m
+}
+
+// benchmarkCorpus runs the repeat-corpus and reports the aggregate
+// switched-run cache hit rate (hits/(hits+misses) summed over the
+// subjects' engine counters) so the shared-vs-private gain is visible
+// in the benchmark output.
+func benchmarkCorpus(b *testing.B, private bool) {
+	m := repeatManifest(b, 6)
+	var agg obs.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), m, Options{
+			Shards: 2, VerifyWorkers: 1, NoSharedCache: private,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed > 0 {
+			b.Fatalf("%d subjects failed", res.Failed)
+		}
+		agg = obs.Stats{}
+		for j := range res.Subjects {
+			st := &res.Subjects[j].Report.Stats
+			agg.CacheHits += st.CacheHits
+			agg.CacheMisses += st.CacheMisses
+			agg.SwitchedRuns += st.SwitchedRuns
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(agg.CacheHitRate(), "cache-hit-rate")
+	b.ReportMetric(float64(agg.SwitchedRuns), "switched-runs")
+}
+
+func BenchmarkCorpusSharedCache(b *testing.B)  { benchmarkCorpus(b, false) }
+func BenchmarkCorpusPrivateCache(b *testing.B) { benchmarkCorpus(b, true) }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -32,7 +33,7 @@ type AblationARow struct {
 // potential edges are added unverified and confidence flows across them.
 // The paper predicts this sanitizes root causes; the verified approach
 // (Table 3) keeps them.
-func AblationA() ([]AblationARow, error) {
+func AblationA(ctx context.Context) ([]AblationARow, error) {
 	var rows []AblationARow
 	for _, c := range bench.Cases() {
 		p, err := c.Prepare()
@@ -80,7 +81,7 @@ func AblationA() ([]AblationARow, error) {
 		}
 
 		// The verified approach: did Table 3's run keep the root?
-		rep, err := core.Locate(p.Spec())
+		rep, err := core.LocateContext(ctx, p.Spec())
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +104,7 @@ type AblationBRow struct {
 }
 
 // AblationB runs the locator in both verification modes on every case.
-func AblationB() ([]AblationBRow, error) {
+func AblationB(ctx context.Context) ([]AblationBRow, error) {
 	var rows []AblationBRow
 	for _, c := range bench.Cases() {
 		p, err := c.Prepare()
@@ -111,13 +112,13 @@ func AblationB() ([]AblationBRow, error) {
 			return nil, err
 		}
 		edgeSpec := p.Spec()
-		edgeRep, err := core.Locate(edgeSpec)
+		edgeRep, err := core.LocateContext(ctx, edgeSpec)
 		if err != nil {
 			return nil, err
 		}
 		pathSpec := p.Spec()
 		pathSpec.PathMode = true
-		pathRep, err := core.Locate(pathSpec)
+		pathRep, err := core.LocateContext(ctx, pathSpec)
 		if err != nil {
 			return nil, err
 		}
@@ -150,14 +151,14 @@ type AblationCRow struct {
 }
 
 // AblationC runs the predicate-switching baseline next to the locator.
-func AblationC() ([]AblationCRow, error) {
+func AblationC(ctx context.Context) ([]AblationCRow, error) {
 	var rows []AblationCRow
 	for _, c := range bench.Cases() {
 		p, err := c.Prepare()
 		if err != nil {
 			return nil, err
 		}
-		rep, err := core.Locate(p.Spec())
+		rep, err := core.LocateContext(ctx, p.Spec())
 		if err != nil {
 			return nil, err
 		}
@@ -208,29 +209,29 @@ func WriteAblationC(w io.Writer, rows []AblationCRow) {
 }
 
 // RenderAblation runs and renders ablation "A", "B" or "C".
-func RenderAblation(name string) (string, error) {
+func RenderAblation(ctx context.Context, name string) (string, error) {
 	var sb strings.Builder
 	switch strings.ToUpper(name) {
 	case "A":
-		rows, err := AblationA()
+		rows, err := AblationA(ctx)
 		if err != nil {
 			return "", err
 		}
 		WriteAblationA(&sb, rows)
 	case "B":
-		rows, err := AblationB()
+		rows, err := AblationB(ctx)
 		if err != nil {
 			return "", err
 		}
 		WriteAblationB(&sb, rows)
 	case "C":
-		rows, err := AblationC()
+		rows, err := AblationC(ctx)
 		if err != nil {
 			return "", err
 		}
 		WriteAblationC(&sb, rows)
 	case "D":
-		rows, err := AblationD()
+		rows, err := AblationD(ctx)
 		if err != nil {
 			return "", err
 		}
@@ -254,7 +255,7 @@ type AblationDRow struct {
 }
 
 // AblationD computes RS under both PD sources for every case.
-func AblationD() ([]AblationDRow, error) {
+func AblationD(ctx context.Context) ([]AblationDRow, error) {
 	var rows []AblationDRow
 	for _, c := range bench.Cases() {
 		p, err := c.Prepare()

@@ -9,7 +9,7 @@ import (
 // root cause on the Fig. 1-shaped case, while the verified approach keeps
 // it everywhere (§3.2 of the paper).
 func TestAblationAClaims(t *testing.T) {
-	rows, err := AblationA()
+	rows, err := AblationA(nil)
 	if err != nil {
 		t.Fatalf("AblationA: %v", err)
 	}
@@ -44,7 +44,7 @@ func TestAblationAClaims(t *testing.T) {
 // mode never needs fewer verifications, and costs strictly more on at
 // least one case (the gzip shape).
 func TestAblationBClaims(t *testing.T) {
-	rows, err := AblationB()
+	rows, err := AblationB(nil)
 	if err != nil {
 		t.Fatalf("AblationB: %v", err)
 	}
@@ -66,7 +66,7 @@ func TestAblationBClaims(t *testing.T) {
 // critical-predicate baseline fails on the cases where no single switch
 // repairs the whole output.
 func TestAblationCClaims(t *testing.T) {
-	rows, err := AblationC()
+	rows, err := AblationC(nil)
 	if err != nil {
 		t.Fatalf("AblationC: %v", err)
 	}
@@ -84,14 +84,14 @@ func TestAblationCClaims(t *testing.T) {
 }
 
 func TestRenderAblation(t *testing.T) {
-	out, err := RenderAblation("b")
+	out, err := RenderAblation(nil, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "Ablation B") {
 		t.Errorf("render:\n%s", out)
 	}
-	if _, err := RenderAblation("Z"); err == nil {
+	if _, err := RenderAblation(nil, "Z"); err == nil {
 		t.Error("unknown ablation must error")
 	}
 }
@@ -101,7 +101,7 @@ func TestRenderAblation(t *testing.T) {
 // behavior, and misses it when the suite never exercises the branch
 // (gzipsim and the sedsim cascade).
 func TestAblationDClaims(t *testing.T) {
-	rows, err := AblationD()
+	rows, err := AblationD(nil)
 	if err != nil {
 		t.Fatalf("AblationD: %v", err)
 	}

@@ -36,6 +36,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -190,15 +191,16 @@ type Table3Row struct {
 	Located       bool
 }
 
-// Table3 runs the demand-driven locator on every case.
-func Table3(o obs.Observer) ([]Table3Row, error) {
+// Table3 runs the demand-driven locator on every case, bounded by ctx
+// (nil = background).
+func Table3(ctx context.Context, o obs.Observer) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, c := range bench.Cases() {
 		p, err := c.Prepare()
 		if err != nil {
 			return nil, err
 		}
-		row, err := Table3Case(p, o)
+		row, err := Table3Case(ctx, p, o)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.Name(), err)
 		}
@@ -208,11 +210,11 @@ func Table3(o obs.Observer) ([]Table3Row, error) {
 }
 
 // Table3Case runs localization for one prepared case, streaming events
-// to o when non-nil.
-func Table3Case(p *bench.Prepared, o obs.Observer) (*Table3Row, error) {
+// to o when non-nil, bounded by ctx (nil = background).
+func Table3Case(ctx context.Context, p *bench.Prepared, o obs.Observer) (*Table3Row, error) {
 	spec := p.Spec()
 	spec.Observer = o
-	rep, err := core.Locate(spec)
+	rep, err := core.LocateContext(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +263,7 @@ type Table4Row struct {
 // report the per-mode minimum, which resists scheduler and GC noise on
 // the microsecond-scale executions (the paper's original runs were "a
 // few milliseconds" and noisy for the same reason).
-func Table4(reps int) ([]Table4Row, error) {
+func Table4(ctx context.Context, reps int) ([]Table4Row, error) {
 	if reps <= 0 {
 		reps = 20
 	}
@@ -304,7 +306,7 @@ func Table4(reps int) ([]Table4Row, error) {
 		}
 
 		start := time.Now()
-		if _, err := core.Locate(p.Spec()); err != nil {
+		if _, err := core.LocateContext(ctx, p.Spec()); err != nil {
 			return nil, err
 		}
 		verify := time.Since(start)
@@ -394,6 +396,10 @@ type Options struct {
 	// verify table's warm-up round. Timed rounds always run unobserved
 	// so observation never perturbs the measurements.
 	Observer obs.Observer
+	// Ctx bounds every localization a table builder runs
+	// (nil = background): on expiry the builder returns the underlying
+	// core error, matching interp.ErrDeadline/ErrCanceled via errors.Is.
+	Ctx context.Context
 }
 
 // Render runs and renders the requested table ("1".."4", or "verify"
@@ -416,13 +422,13 @@ func Render(table string, opt Options) (string, error) {
 		}
 		WriteTable2(&sb, rows)
 	case "3":
-		rows, err := Table3(opt.Observer)
+		rows, err := Table3(opt.Ctx, opt.Observer)
 		if err != nil {
 			return "", err
 		}
 		WriteTable3(&sb, rows)
 	case "4":
-		rows, err := Table4(opt.Reps)
+		rows, err := Table4(opt.Ctx, opt.Reps)
 		if err != nil {
 			return "", err
 		}

@@ -71,7 +71,7 @@ func TestTable2Claims(t *testing.T) {
 // locator captures every error; verifications, iterations and expanded
 // edges stay small; IPS is close to OS.
 func TestTable3Claims(t *testing.T) {
-	rows, err := Table3(nil)
+	rows, err := Table3(nil, nil)
 	if err != nil {
 		t.Fatalf("Table3: %v", err)
 	}
@@ -129,7 +129,7 @@ func TestTable4Claims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
-	rows, err := Table4(10)
+	rows, err := Table4(nil, 10)
 	if err != nil {
 		t.Fatalf("Table4: %v", err)
 	}

@@ -70,7 +70,7 @@ func VerifyCase(p *bench.Prepared, opt Options) (*VerifyRow, error) {
 				spec.Observer = opt.Observer
 			}
 			start := time.Now()
-			rep, err := core.Locate(spec)
+			rep, err := core.LocateContext(opt.Ctx, spec)
 			d := time.Since(start)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %w", p.Case.Name(), m.name, err)

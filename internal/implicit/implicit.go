@@ -23,6 +23,7 @@
 package implicit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -89,6 +90,12 @@ type Verifier struct {
 	// where a scheduling/caching layer (internal/verifyengine) plugs in.
 	// When nil the interpreter is invoked inline.
 	Runner SwitchedRunner
+
+	// Ctx, if non-nil, bounds the verifier's own re-executions (the
+	// inline switched runs and the perturbation runs). A Runner is
+	// expected to carry its own context; this field covers the paths that
+	// invoke the interpreter directly. Copied by Clone.
+	Ctx context.Context
 
 	// Rec, if non-nil, receives a "verdict" mark for every fresh
 	// verification recorded. It is only consulted from the sequential
@@ -230,6 +237,7 @@ func (v *Verifier) Clone() *Verifier {
 		C: v.C, Input: v.Input, Orig: v.Orig,
 		WrongOut: v.WrongOut, Vexp: v.Vexp, HasVexp: v.HasVexp,
 		BudgetFactor: v.BudgetFactor, PathMode: v.PathMode, Runner: v.Runner,
+		Ctx: v.Ctx,
 	}
 }
 
@@ -238,11 +246,19 @@ func (v *Verifier) Clone() *Verifier {
 // full tracing, bounded by budget steps. Exported so scheduling layers
 // can perform (and cache) the expensive part of VerifyDetailed.
 func RunSwitched(c *interp.Compiled, input []int64, pred trace.Instance, budget int) *interp.Result {
+	return RunSwitchedContext(nil, c, input, pred, budget)
+}
+
+// RunSwitchedContext is RunSwitched bounded by ctx (nil = unbounded): a
+// cancelled or deadlined context aborts the re-execution with
+// interp.ErrCanceled/ErrDeadline on the result.
+func RunSwitchedContext(ctx context.Context, c *interp.Compiled, input []int64, pred trace.Instance, budget int) *interp.Result {
 	return interp.Run(c, interp.Options{
 		Input:      input,
 		BuildTrace: true,
 		Switch:     &interp.SwitchPlan{Stmt: pred.Stmt, Occ: pred.Occ},
 		StepBudget: budget,
+		Ctx:        ctx,
 	})
 }
 
@@ -251,7 +267,7 @@ func (v *Verifier) switchedRun(pred trace.Instance, budget int) *interp.Result {
 	if v.Runner != nil {
 		return v.Runner.SwitchedRun(pred, budget)
 	}
-	return RunSwitched(v.C, v.Input, pred, budget)
+	return RunSwitchedContext(v.Ctx, v.C, v.Input, pred, budget)
 }
 
 // VerifyDetailed is Verify without memoization, returning evidence.

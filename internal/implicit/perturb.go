@@ -71,7 +71,13 @@ func (v *Verifier) PerturbVerify(req PerturbRequest) *PerturbResult {
 				Stmt: de.Inst.Stmt, Occ: de.Inst.Occ, Value: cand,
 			},
 			StepBudget: budget,
+			Ctx:        v.Ctx,
 		})
+		if interp.IsCancellation(run.Err) {
+			// The verifier's context is gone: stop probing candidates; the
+			// caller observes the cancellation on its own ctx checkpoint.
+			return res
+		}
 		if errors.Is(run.Err, interp.ErrBudget) {
 			continue
 		}

@@ -23,6 +23,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -119,12 +120,22 @@ type Options struct {
 	// from worker goroutines (the verify engine) must leave it nil —
 	// observability for those runs is emitted at absorption instead.
 	Rec *obs.Recorder
+	// Ctx, if non-nil, bounds the run: once the context is cancelled or
+	// its deadline passes, the run aborts with ErrCanceled/ErrDeadline.
+	// The check is amortized onto the step-budget accounting — one
+	// ctx.Err() per ctxCheckEvery executed statements — so a live context
+	// costs nothing measurable and never changes results.
+	Ctx context.Context
 }
 
 // Default limits.
 const (
 	DefaultStepBudget = 10_000_000
 	DefaultMaxFrames  = 4096
+	// ctxCheckEvery is the amortization stride of the Options.Ctx check:
+	// ctx.Err() is consulted once per this many executed statements
+	// (power of two, so the check is a mask on the step counter).
+	ctxCheckEvery = 1024
 )
 
 // Sentinel runtime errors. A Result.Err wraps one of these.
@@ -137,6 +148,35 @@ var (
 	ErrAssert    = errors.New("assertion failed")
 	ErrInterrupt = errors.New("interpreter aborted")
 )
+
+// Cancellation sentinels: a run cut short by its Options.Ctx reports one
+// of these. Each wraps the corresponding context sentinel, so both
+// errors.Is(err, ErrDeadline) and errors.Is(err,
+// context.DeadlineExceeded) hold on the same chain.
+var (
+	ErrDeadline = fmt.Errorf("run deadline exceeded: %w", context.DeadlineExceeded)
+	ErrCanceled = fmt.Errorf("run canceled: %w", context.Canceled)
+)
+
+// CtxErr maps a context error onto the cancellation sentinels (nil in,
+// nil out).
+func CtxErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	default:
+		return ErrCanceled
+	}
+}
+
+// IsCancellation reports whether err's chain stems from context
+// cancellation or deadline expiry — the errors for which a partial
+// result is expected rather than a defect.
+func IsCancellation(err error) bool {
+	return errors.Is(err, ErrDeadline) || errors.Is(err, ErrCanceled)
+}
 
 // RuntimeError wraps a sentinel error with source position context.
 type RuntimeError struct {
@@ -194,8 +234,17 @@ func Run(c *Compiled, opts Options) *Result {
 		perturb:   opts.Perturb,
 		budget:    opts.StepBudget,
 		maxFrames: opts.MaxFrames,
+		ctx:       opts.Ctx,
 		occ:       make([]int, c.Info.NumStmts()+1),
 		res:       &Result{},
+	}
+	if ip.ctx != nil {
+		if err := ip.ctx.Err(); err != nil {
+			// Already expired: report without executing a single statement,
+			// so a dead context can never produce partial output.
+			ip.res.Err = &RuntimeError{Err: CtxErr(err)}
+			return ip.res
+		}
 	}
 	if ip.budget <= 0 {
 		ip.budget = DefaultStepBudget
@@ -266,6 +315,7 @@ type interp struct {
 	perturb   *PerturbPlan
 	budget    int
 	maxFrames int
+	ctx       context.Context // nil = unbounded
 
 	tr      *trace.Trace // nil in plain mode
 	occ     []int        // per-statement occurrence counts
@@ -330,9 +380,17 @@ const (
 // entry creation for the execution of one instance of s. It returns the
 // trace index of the new entry (-1 in plain mode).
 func (ip *interp) beginStmt(s ast.Numbered) int {
-	ip.res.Steps++
-	if ip.res.Steps > ip.budget {
+	// Budget check precedes the increment so Steps is clamped to exactly
+	// the budget on expiry — deadline accounting layered on the step
+	// counter relies on it never overshooting.
+	if ip.res.Steps >= ip.budget {
 		ip.fail(s.Pos(), s.ID(), ErrBudget)
+	}
+	ip.res.Steps++
+	if ip.ctx != nil && ip.res.Steps&(ctxCheckEvery-1) == 0 {
+		if err := ip.ctx.Err(); err != nil {
+			ip.fail(s.Pos(), s.ID(), CtxErr(err))
+		}
 	}
 	id := s.ID()
 	ip.occ[id]++

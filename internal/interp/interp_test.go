@@ -1,10 +1,12 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"eol/internal/cfg"
 	"eol/internal/trace"
@@ -167,8 +169,73 @@ func TestStepBudget(t *testing.T) {
 	if !errors.Is(r.Err, ErrBudget) {
 		t.Errorf("err = %v, want ErrBudget", r.Err)
 	}
-	if r.Steps > 101 {
-		t.Errorf("Steps = %d, should stop at the budget", r.Steps)
+	// The counter is clamped to exactly the budget on expiry — deadline
+	// accounting layered on Steps depends on it never overshooting.
+	if r.Steps != 100 {
+		t.Errorf("Steps = %d, want exactly the budget (100)", r.Steps)
+	}
+}
+
+// TestStepBudgetExact pins the clamp boundary: a run that needs exactly N
+// steps completes under budget N and fails under budget N-1.
+func TestStepBudgetExact(t *testing.T) {
+	src := `func main() { var i = 0; i = 1; i = 2; print(i); }`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Run(c, Options{})
+	if full.Err != nil {
+		t.Fatalf("unbounded run: %v", full.Err)
+	}
+	n := full.Steps
+	if r := Run(c, Options{StepBudget: n}); r.Err != nil {
+		t.Errorf("budget %d (exact): err = %v, want clean completion", n, r.Err)
+	}
+	r := Run(c, Options{StepBudget: n - 1})
+	if !errors.Is(r.Err, ErrBudget) {
+		t.Errorf("budget %d: err = %v, want ErrBudget", n-1, r.Err)
+	}
+	if r.Steps != n-1 {
+		t.Errorf("budget %d: Steps = %d, want %d", n-1, r.Steps, n-1)
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	src := `func main() { var i = 0; while (i < 100000000) { i++; } print(i); }`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Already-dead context: not a single statement executes.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Run(c, Options{Ctx: dead})
+	if !errors.Is(r.Err, ErrCanceled) || !errors.Is(r.Err, context.Canceled) {
+		t.Errorf("dead ctx: err = %v, want ErrCanceled wrapping context.Canceled", r.Err)
+	}
+	if r.Steps != 0 {
+		t.Errorf("dead ctx: Steps = %d, want 0", r.Steps)
+	}
+
+	// Deadline firing mid-run: the run aborts at a step checkpoint, far
+	// short of the loop's full step count.
+	ctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel2()
+	r = Run(c, Options{Ctx: ctx})
+	if !errors.Is(r.Err, ErrDeadline) || !errors.Is(r.Err, context.DeadlineExceeded) {
+		t.Errorf("deadline: err = %v, want ErrDeadline wrapping context.DeadlineExceeded", r.Err)
+	}
+	if !IsCancellation(r.Err) {
+		t.Errorf("IsCancellation(%v) = false, want true", r.Err)
+	}
+	if r.Steps == 0 || r.Steps >= 300000000 {
+		t.Errorf("deadline: Steps = %d, want a partial count", r.Steps)
+	}
+	// The abort lands on the amortized checkpoint stride.
+	if r.Steps%ctxCheckEvery != 0 {
+		t.Errorf("deadline: Steps = %d, not a multiple of the check stride %d", r.Steps, ctxCheckEvery)
 	}
 }
 

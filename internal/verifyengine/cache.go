@@ -107,12 +107,20 @@ func (c *RunCache) GetOrRun(key RunKey, run func() *interp.Result) (res *interp.
 
 	c.mu.Lock()
 	delete(c.inflight, key)
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: fl.res})
-	for c.ll.Len() > c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.items, back.Value.(*cacheEntry).key)
-		c.evictions++
+	// A run aborted by its caller's context is NOT a value of the pure
+	// function the key names — it is an artifact of that caller's
+	// deadline. Storing it would poison every later localization sharing
+	// this cache with a wrong NOT_ID verdict. Deliver it to current
+	// waiters only (they re-check their own contexts and retry) and leave
+	// the key uncached so the next lookup re-executes.
+	if fl.res == nil || !interp.IsCancellation(fl.res.Err) {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: fl.res})
+		for c.ll.Len() > c.cap {
+			back := c.ll.Back()
+			c.ll.Remove(back)
+			delete(c.items, back.Value.(*cacheEntry).key)
+			c.evictions++
+		}
 	}
 	c.mu.Unlock()
 	close(fl.done)

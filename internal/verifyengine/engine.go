@@ -29,6 +29,8 @@
 package verifyengine
 
 import (
+	"context"
+	"fmt"
 	"hash/fnv"
 	"runtime"
 	"strconv"
@@ -68,6 +70,12 @@ type Config struct {
 	// sequential absorption — never from workers, and the worker count is
 	// never recorded, so the stream is identical for any Workers value.
 	Rec *obs.Recorder
+	// Ctx, if non-nil, bounds every switched re-execution and
+	// verification batch: when it is cancelled or deadlined, in-flight
+	// interpreter runs abort with interp.ErrCanceled/ErrDeadline and
+	// VerifyBatchContext returns the cancellation instead of absorbing
+	// partial verdicts. Defaults to context.Background().
+	Ctx context.Context
 }
 
 // Stats reports what one engine did. Cache* counters are per-engine
@@ -114,6 +122,7 @@ type Engine struct {
 	workers int
 	cache   *RunCache
 	filter  func(implicit.Request) bool
+	ctx     context.Context
 
 	progHash  uint64
 	inputHash uint64
@@ -136,7 +145,10 @@ func New(base *implicit.Verifier, cfg Config) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{base: base, workers: w, filter: cfg.Filter, rec: cfg.Rec}
+	e := &Engine{base: base, workers: w, filter: cfg.Filter, rec: cfg.Rec, ctx: cfg.Ctx}
+	if e.ctx == nil {
+		e.ctx = context.Background()
+	}
 	switch {
 	case cfg.Cache != nil:
 		e.cache = cfg.Cache
@@ -160,15 +172,31 @@ func New(base *implicit.Verifier, cfg Config) *Engine {
 // re-execution, served from the cache when possible. Cached traces are
 // published with their ancestry index pre-built so concurrent alignment
 // against them is read-only.
+//
+// With a shared cache, a single-flight wait can hand this engine a run
+// that was aborted by ANOTHER engine's context (cancellation results
+// are never stored, only delivered to waiters). A cancelled result must
+// not become this engine's verdict while its own context is live — that
+// would poison the verdict and break shard-count determinism — so the
+// lookup retries until it gets a real run or its own context dies.
 func (e *Engine) SwitchedRun(pred trace.Instance, budget int) *interp.Result {
+	for {
+		res := e.switchedRunOnce(pred, budget)
+		if !interp.IsCancellation(res.Err) || e.ctx.Err() != nil {
+			return res
+		}
+	}
+}
+
+func (e *Engine) switchedRunOnce(pred trace.Instance, budget int) *interp.Result {
 	if e.cache == nil {
 		e.runs.Add(1)
-		return implicit.RunSwitched(e.base.C, e.base.Input, pred, budget)
+		return implicit.RunSwitchedContext(e.ctx, e.base.C, e.base.Input, pred, budget)
 	}
 	key := RunKey{Prog: e.progHash, Input: e.inputHash, Pred: pred, Budget: budget}
 	res, hit := e.cache.GetOrRun(key, func() *interp.Result {
 		e.runs.Add(1)
-		r := implicit.RunSwitched(e.base.C, e.base.Input, pred, budget)
+		r := implicit.RunSwitchedContext(e.ctx, e.base.C, e.base.Input, pred, budget)
 		if r.Trace != nil {
 			r.Trace.Ancestry()
 		}
@@ -182,16 +210,38 @@ func (e *Engine) SwitchedRun(pred trace.Instance, budget int) *interp.Result {
 	return res
 }
 
-// VerifyBatch verifies reqs and returns their verdicts in request order.
-// The expensive part — switched re-execution plus alignment — runs on
-// the worker pool, deduplicated per memo key and per switched predicate;
-// the results are then absorbed into the base verifier sequentially in
-// request order, so its log, counters and memo evolve exactly as if the
-// requests had been verified one by one.
+// VerifyBatch verifies reqs and returns their verdicts in request order,
+// under the engine's configured context. Kept for callers that predate
+// the context-first API; on cancellation the partial verdicts are
+// returned as-is (unabsorbed requests read as NOT_ID).
 func (e *Engine) VerifyBatch(reqs []implicit.Request) []implicit.Verdict {
+	verdicts, _ := e.VerifyBatchContext(e.ctx, reqs)
+	return verdicts
+}
+
+// VerifyBatchContext verifies reqs and returns their verdicts in request
+// order. The expensive part — switched re-execution plus alignment —
+// runs on the worker pool, deduplicated per memo key and per switched
+// predicate; the results are then absorbed into the base verifier
+// sequentially in request order, so its log, counters and memo evolve
+// exactly as if the requests had been verified one by one.
+//
+// ctx (nil = the engine's configured context) bounds the batch: on
+// cancellation the workers drain, NOTHING is absorbed — a half-absorbed
+// batch would leave wrong NOT_ID verdicts in the memo and log — and the
+// error wraps interp.ErrDeadline/ErrCanceled. ctx should equal or derive
+// from Config.Ctx so the workers' interpreter runs observe the same
+// cancellation.
+func (e *Engine) VerifyBatchContext(ctx context.Context, reqs []implicit.Request) ([]implicit.Verdict, error) {
+	if ctx == nil {
+		ctx = e.ctx
+	}
 	verdicts := make([]implicit.Verdict, len(reqs))
 	if len(reqs) == 0 {
-		return verdicts
+		return verdicts, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return verdicts, fmt.Errorf("verification batch aborted: %w", interp.CtxErr(err))
 	}
 	e.batches++
 	e.batched += int64(len(reqs))
@@ -239,6 +289,13 @@ func (e *Engine) VerifyBatch(reqs []implicit.Request) []implicit.Verdict {
 			go func(cl *implicit.Verifier) {
 				defer wg.Done()
 				for {
+					// Stop claiming jobs once the batch is cancelled; the
+					// job in flight aborts on the interpreter's own ctx
+					// checkpoints, so the pool drains promptly and
+					// wg.Wait below never leaks a goroutine.
+					if ctx.Err() != nil {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
@@ -250,8 +307,23 @@ func (e *Engine) VerifyBatch(reqs []implicit.Request) []implicit.Verdict {
 		wg.Wait()
 	} else {
 		for _, idx := range jobs {
+			if ctx.Err() != nil {
+				break
+			}
 			results[idx] = e.clones[0].VerifyDetailed(reqs[idx])
 		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		// Cancelled mid-batch: the worker results may include runs that
+		// were aborted by the context and would absorb as spurious NOT_ID
+		// verdicts. Discard the whole batch — the verdicts computed so far
+		// are returned unabsorbed — and surface the cancellation. The span
+		// is still closed so a journal taken during cancellation validates.
+		if e.rec.Enabled() {
+			e.rec.End("verify_batch", int64(len(reqs)))
+		}
+		return verdicts, fmt.Errorf("verification batch aborted: %w", interp.CtxErr(err))
 	}
 
 	// Absorption is sequential and in request order, so everything
@@ -299,7 +371,7 @@ func (e *Engine) VerifyBatch(reqs []implicit.Request) []implicit.Verdict {
 		}
 		e.rec.End("verify_batch", int64(len(reqs)))
 	}
-	return verdicts
+	return verdicts, nil
 }
 
 // Stats snapshots the engine counters.
