@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke verify-table journal-smoke corpus-smoke
+.PHONY: all build test race vet lint bench bench-smoke verify-table journal-smoke corpus-smoke checkpoint-smoke
 
 all: build test lint
 
@@ -63,3 +63,17 @@ corpus-smoke:
 		test $$? -eq 1
 	cmp /tmp/eol-corpus-1.json /tmp/eol-corpus-2.json
 	$(GO) run ./cmd/journalcheck /tmp/eol-corpus-smoke.jsonl
+
+# Checkpoint smoke lane: localize a long-trace grepsim subject with
+# checkpointed switched replay on (default) and off (-checkpoints -1).
+# Results and journal must be byte-identical — the transparency contract
+# of docs/CHECKPOINT.md — and the journal must validate.
+checkpoint-smoke:
+	$(GO) build -o /tmp/eolcorpus-ckpt ./cmd/eolcorpus
+	/tmp/eolcorpus-ckpt -o /tmp/eol-ckpt-on.json \
+		-trace /tmp/eol-ckpt-on.jsonl testdata/corpus/checkpoint.json
+	/tmp/eolcorpus-ckpt -checkpoints -1 -o /tmp/eol-ckpt-off.json \
+		-trace /tmp/eol-ckpt-off.jsonl testdata/corpus/checkpoint.json
+	cmp /tmp/eol-ckpt-on.json /tmp/eol-ckpt-off.json
+	cmp /tmp/eol-ckpt-on.jsonl /tmp/eol-ckpt-off.jsonl
+	$(GO) run ./cmd/journalcheck /tmp/eol-ckpt-on.jsonl

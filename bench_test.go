@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"eol/internal/bench"
+	"eol/internal/cfg"
 	"eol/internal/confidence"
 	"eol/internal/core"
 	"eol/internal/critpred"
@@ -291,6 +292,68 @@ func BenchmarkVerifyEngineLocate(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkCheckpointReplay measures what checkpointed forking buys one
+// switched re-execution — the unit of work BenchmarkVerifyEngine runs in
+// batches — on a long trace (the scaled grep analog). Switch targets sit
+// in the last quarter of the trace, where Algorithm 2's demand-driven
+// expansion spends most verifications (candidates near the wrong
+// output); "full" replays the program from the start, "fork" resumes
+// from the nearest checkpoint. The suffix_steps/full_steps metrics show
+// the replay saving behind the time difference.
+func BenchmarkCheckpointReplay(b *testing.B) {
+	p := prep(b, "grepsim/V4-F2")
+	in := bench.ScaledGrepInput(400)
+	st := interp.NewCheckpointStore(0)
+	run := interp.Run(p.Faulty, interp.Options{Input: in, BuildTrace: true, Checkpoints: st})
+	if run.Err != nil {
+		b.Fatal(run.Err)
+	}
+	tr := run.Trace
+	budget := 10*tr.Len() + 1000
+
+	// Predicate instances in the last quarter of the trace.
+	var preds []trace.Instance
+	for i := tr.Len() * 3 / 4; i < tr.Len() && len(preds) < 8; i++ {
+		if e := tr.At(i); e.Branch != cfg.None {
+			preds = append(preds, e.Inst)
+		}
+	}
+	if len(preds) == 0 {
+		b.Fatal("no late predicates in the scaled trace")
+	}
+
+	b.Run("full", func(b *testing.B) {
+		var steps int
+		for i := 0; i < b.N; i++ {
+			r := implicit.RunSwitchedContext(nil, p.Faulty, in, preds[i%len(preds)], budget)
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			steps = r.Steps
+		}
+		b.ReportMetric(float64(steps), "full_steps")
+	})
+	b.Run("fork", func(b *testing.B) {
+		var suffix int
+		for i := 0; i < b.N; i++ {
+			pred := preds[i%len(preds)]
+			r := interp.RunSwitchedFromStore(st, tr, p.Faulty, interp.Options{
+				Input:      in,
+				Switch:     &interp.SwitchPlan{Stmt: pred.Stmt, Occ: pred.Occ},
+				StepBudget: budget,
+			})
+			if r == nil {
+				b.Fatal("no checkpoint before a late predicate")
+			}
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			suffix = r.Steps - r.ResumedAt
+		}
+		b.ReportMetric(float64(suffix), "suffix_steps")
+	})
 }
 
 // BenchmarkRepruneIncremental measures what incremental re-pruning buys

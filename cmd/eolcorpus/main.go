@@ -111,6 +111,7 @@ func main() {
 		VerifyWorkers: engFlags.Workers,
 		CacheSize:     engFlags.Cache,
 		NoSharedCache: *privateFlag,
+		Checkpoints:   engFlags.Checkpoints,
 		Observer:      observer,
 	})
 	if cerr := closeObs(); cerr != nil {

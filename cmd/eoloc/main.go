@@ -89,6 +89,7 @@ func main() {
 		PerturbFallback: *perturbFlag,
 		VerifyWorkers:   engFlags.Workers,
 		VerifyCacheSize: engFlags.Cache,
+		Checkpoints:     engFlags.Checkpoints,
 		Observer:        observer,
 	}
 

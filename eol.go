@@ -265,6 +265,13 @@ type Settings struct {
 	VerifyCacheSize int
 	// NoStaticSkip disables the static skip-filter.
 	NoStaticSkip bool
+	// Checkpoints bounds the execution snapshots captured during the
+	// failing run for checkpointed switched replay (0 = default bound,
+	// negative = disabled; see WithCheckpoints / WithoutCheckpoints and
+	// docs/CHECKPOINT.md). The diagnosis, journal and candidate ranking
+	// are byte-identical on or off; only the Stats checkpoint counters
+	// and wall-clock time differ.
+	Checkpoints int
 	// NoIncremental disables incremental re-pruning of the expanded
 	// graph (Algorithm 2's re-prune step recomputes confidence from
 	// scratch each iteration instead of re-propagating the dirty cone).
@@ -507,6 +514,30 @@ func WithVerifyCacheSize(n int) LocateOption {
 	return func(s *Settings) { s.VerifyCacheSize = n }
 }
 
+// WithCheckpoints bounds the checkpoint store captured during the
+// failing run (0 = the default bound, interp.DefaultCheckpoints).
+// Switched re-executions — the cost driver of implicit-dependence
+// verification — then fork from the nearest checkpoint and replay only
+// the suffix instead of the whole program. More checkpoints mean
+// shorter suffixes at the price of retained snapshot memory (see
+// Diagnosis.Stats.CheckpointBytes and docs/CHECKPOINT.md).
+func WithCheckpoints(n int) LocateOption {
+	if n < 0 {
+		n = 0
+	}
+	return func(s *Settings) { s.Checkpoints = n }
+}
+
+// WithoutCheckpoints disables checkpointed switched replay: every
+// switched re-execution replays the program from the start. The
+// diagnosis is identical either way; the flag exists for A/B cost
+// comparison (see Stats.CheckpointHits and Stats.SuffixSteps) and as an
+// escape hatch when snapshot memory matters more than verification
+// speed.
+func WithoutCheckpoints() LocateOption {
+	return func(s *Settings) { s.Checkpoints = -1 }
+}
+
 // WithoutIncrementalReprune disables the incremental delta re-pruning of
 // the dependence-graph engine: each Algorithm-2 iteration recomputes
 // confidence over the whole slice from scratch instead of re-propagating
@@ -651,6 +682,7 @@ func (s *Session) LocateContext(ctx context.Context, opts ...LocateOption) (*Dia
 		VerifyCacheSize: st.VerifyCacheSize,
 		NoStaticSkip:    st.NoStaticSkip,
 		NoIncremental:   st.NoIncremental,
+		Checkpoints:     st.Checkpoints,
 		Observer:        observer,
 	}
 	rep, err := core.LocateContext(ctx, spec)

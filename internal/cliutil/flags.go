@@ -26,6 +26,10 @@ type EngineFlags struct {
 	// Cache sizes the switched-run cache: 0 = engine default, negative
 	// disables caching.
 	Cache int
+	// Checkpoints bounds the checkpoint store captured during the
+	// failing run: 0 = interpreter default, negative disables
+	// checkpointed switched replay (docs/CHECKPOINT.md).
+	Checkpoints int
 }
 
 // RegisterEngineFlags registers -workers and -cache on fs, plus the
@@ -39,6 +43,8 @@ func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
 	fs.IntVar(&ef.Cache, "cache", 0,
 		"switched-run cache size (0 = default, negative = disabled)")
 	fs.IntVar(&ef.Cache, "verify-cache", 0, hiddenUsagePrefix+"alias for -cache")
+	fs.IntVar(&ef.Checkpoints, "checkpoints", 0,
+		"failing-run checkpoint bound for switched replay (0 = default, negative = disabled)")
 	hideAliases(fs)
 	return ef
 }

@@ -150,6 +150,15 @@ type Spec struct {
 	// either way — only Stats.Repropagated/DirtyFraction and wall-clock
 	// time differ — so this flag exists for A/B comparison and debugging.
 	NoIncremental bool
+	// Checkpoints bounds the execution snapshots captured during the
+	// failing run for checkpointed switched replay (docs/CHECKPOINT.md):
+	// 0 means interp.DefaultCheckpoints, negative disables checkpointing
+	// entirely. Every switched re-execution then forks from the nearest
+	// checkpoint and replays only the suffix. Results (Report counters,
+	// VerifyLog, obs journal) are byte-identical on or off — only
+	// Stats.CheckpointHits/SuffixSteps/Checkpoints/CheckpointBytes and
+	// wall-clock time differ.
+	Checkpoints int
 	// NoStaticSkip disables the static skip-filter
 	// (check.SwitchFilter), which proves some verifications NOT_ID from
 	// the failing trace alone and answers them without a switched
@@ -264,9 +273,15 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 	rec := obs.NewRecorder(spec.Observer)
 	rec.Begin("locate")
 
-	// The failing run ("Graph" construction in Table 4 terms).
+	// The failing run ("Graph" construction in Table 4 terms). It also
+	// captures the checkpoint store that later switched re-executions
+	// fork from (unless disabled).
+	var cks *interp.CheckpointStore
+	if spec.Checkpoints >= 0 {
+		cks = interp.NewCheckpointStore(spec.Checkpoints)
+	}
 	rec.Begin("failing_run")
-	run := interp.Run(spec.Program, interp.Options{Input: spec.Input, BuildTrace: true, Rec: rec, Ctx: ctx})
+	run := interp.Run(spec.Program, interp.Options{Input: spec.Input, BuildTrace: true, Rec: rec, Ctx: ctx, Checkpoints: cks})
 	rec.End("failing_run", int64(run.Steps))
 	if run.Err != nil {
 		rec.End("locate", 0)
@@ -309,7 +324,7 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 		C: spec.Program, Input: spec.Input, Orig: tr,
 		WrongOut: wrong, Vexp: vexp, HasVexp: hasVexp,
 		PathMode: spec.PathMode, BudgetFactor: spec.BudgetFactor,
-		Rec: rec, Ctx: ctx,
+		Rec: rec, Ctx: ctx, Checkpoints: cks,
 	}
 
 	engCfg := verifyengine.Config{
@@ -497,6 +512,13 @@ func (l *locator) finalizeStats() {
 	rep.Stats.CacheEvictions = es.CacheEvictions
 	rep.Stats.StaticSkips = es.StaticSkips
 	rep.Stats.AlignedRegions = es.AlignedRegions
+	rep.Stats.CheckpointHits = es.CheckpointHits
+	rep.Stats.SuffixSteps = es.SuffixSteps
+	if cks := l.ver.Checkpoints; cks != nil {
+		cs := cks.Stats()
+		rep.Stats.Checkpoints = cs.Count
+		rep.Stats.CheckpointBytes = cs.Bytes
+	}
 	rep.Stats.StrongEdges = rep.Graph.NumExtraEdges(ddg.StrongImplicit)
 	rep.Stats.ImplicitEdges = rep.Graph.NumExtraEdges(ddg.Implicit)
 	passes, reeval := l.an.RepropStats()

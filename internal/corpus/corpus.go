@@ -66,6 +66,10 @@ type Options struct {
 	// NoSharedCache gives every subject a private cache instead of one
 	// shared across the corpus — for A/B-measuring the sharing gain.
 	NoSharedCache bool
+	// Checkpoints bounds each subject's failing-run checkpoint store
+	// (0 = interpreter default, negative disables checkpointed switched
+	// replay). Per-subject results are identical either way.
+	Checkpoints int
 	// Observer, if non-nil, receives the corpus journal: one corpus
 	// span containing a subject span per subject (manifest order) with
 	// the deterministic per-subject gauges, then corpus totals. Emitted
@@ -250,6 +254,7 @@ func runSubject(ctx context.Context, s *Subject, shard int, shared *verifyengine
 		VerifyWorkers:   opts.VerifyWorkers,
 		VerifyCacheSize: opts.CacheSize,
 		VerifyCache:     shared,
+		Checkpoints:     opts.Checkpoints,
 	}
 
 	if s.CorrectSource != "" {

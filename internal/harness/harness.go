@@ -392,6 +392,11 @@ type Options struct {
 	// Cache overrides the cached mode's switched-run cache size
 	// (0 = engine default, negative disables it).
 	Cache int
+	// Checkpoints bounds the failing-run checkpoint store for the verify
+	// table's localizations (0 = interpreter default, negative disables
+	// checkpointed switched replay). Results are mode-independent; only
+	// the timings move.
+	Checkpoints int
 	// Observer, if non-nil, observes the Table 3 localizations and the
 	// verify table's warm-up round. Timed rounds always run unobserved
 	// so observation never perturbs the measurements.

@@ -66,6 +66,7 @@ func VerifyCase(p *bench.Prepared, opt Options) (*VerifyRow, error) {
 			spec := p.Spec()
 			spec.VerifyWorkers = m.workers
 			spec.VerifyCacheSize = m.cacheSz
+			spec.Checkpoints = opt.Checkpoints
 			if r == 0 {
 				spec.Observer = opt.Observer
 			}

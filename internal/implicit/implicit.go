@@ -20,6 +20,14 @@
 // The edge approximation is deliberately unsafe (§3.1 of the paper); the
 // PathMode option implements the safe explicit-dependence-PATH variant
 // for the edges-vs-paths ablation.
+//
+// The switched re-execution is the hot path. Two seams control its cost:
+// the Runner interface hands the run to a scheduling/caching layer
+// (internal/verifyengine), and the Checkpoints store makes inline runs —
+// and, through RunSwitchedFrom, the engine's runs — fork from snapshots
+// of the failing run instead of replaying from the start
+// (docs/CHECKPOINT.md). Both are transparent: every verdict, counter and
+// log entry is identical with or without them.
 package implicit
 
 import (
@@ -96,6 +104,14 @@ type Verifier struct {
 	// expected to carry its own context; this field covers the paths that
 	// invoke the interpreter directly. Copied by Clone.
 	Ctx context.Context
+
+	// Checkpoints, if non-nil, holds execution snapshots captured during
+	// the failing run (interp.CheckpointStore). Inline switched runs then
+	// fork from the nearest checkpoint at or before the switched instance
+	// and re-execute only the suffix — byte-identical results, a fraction
+	// of the steps (docs/CHECKPOINT.md). Read-only after the failing run,
+	// so it is shared by Clone and safe across workers.
+	Checkpoints *interp.CheckpointStore
 
 	// Rec, if non-nil, receives a "verdict" mark for every fresh
 	// verification recorded. It is only consulted from the sequential
@@ -237,7 +253,7 @@ func (v *Verifier) Clone() *Verifier {
 		C: v.C, Input: v.Input, Orig: v.Orig,
 		WrongOut: v.WrongOut, Vexp: v.Vexp, HasVexp: v.HasVexp,
 		BudgetFactor: v.BudgetFactor, PathMode: v.PathMode, Runner: v.Runner,
-		Ctx: v.Ctx,
+		Ctx: v.Ctx, Checkpoints: v.Checkpoints,
 	}
 }
 
@@ -262,12 +278,34 @@ func RunSwitchedContext(ctx context.Context, c *interp.Compiled, input []int64, 
 	})
 }
 
+// RunSwitchedFrom is the checkpoint-accelerated form of
+// RunSwitchedContext: when cks holds a checkpoint at or before pred's
+// instance in orig (the failing run's trace), the switched run forks
+// from it and re-executes only the suffix. The result — trace, outputs,
+// verdict-relevant state, step count — is byte-identical to a full
+// switched run; only Result.ResumedAt reveals the shortcut. Falls back
+// to a full run when no checkpoint qualifies (nil store, unknown
+// instance, no checkpoint before it, or a budget already spent at the
+// checkpoint).
+func RunSwitchedFrom(ctx context.Context, c *interp.Compiled, input []int64, cks *interp.CheckpointStore, orig *trace.Trace, pred trace.Instance, budget int) *interp.Result {
+	opts := interp.Options{
+		Input:      input,
+		Switch:     &interp.SwitchPlan{Stmt: pred.Stmt, Occ: pred.Occ},
+		StepBudget: budget,
+		Ctx:        ctx,
+	}
+	if r := interp.RunSwitchedFromStore(cks, orig, c, opts); r != nil {
+		return r
+	}
+	return RunSwitchedContext(ctx, c, input, pred, budget)
+}
+
 // switchedRun obtains the switched run through the Runner seam.
 func (v *Verifier) switchedRun(pred trace.Instance, budget int) *interp.Result {
 	if v.Runner != nil {
 		return v.Runner.SwitchedRun(pred, budget)
 	}
-	return RunSwitchedContext(v.Ctx, v.C, v.Input, pred, budget)
+	return RunSwitchedFrom(v.Ctx, v.C, v.Input, v.Checkpoints, v.Orig, pred, budget)
 }
 
 // VerifyDetailed is Verify without memoization, returning evidence.

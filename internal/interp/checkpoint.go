@@ -1,0 +1,221 @@
+package interp
+
+// Checkpointed re-execution: capture cheap snapshots of the interpreter
+// state during one traced run, then fork new runs that re-execute only
+// the suffix after a snapshot. This is what turns switched re-execution
+// (the hot path of implicit-dependence verification) from O(trace) into
+// O(suffix) per candidate — see docs/CHECKPOINT.md for the full design.
+//
+// A tree-walking interpreter cannot snapshot its Go call stack, so a
+// checkpoint is only *eligible* at points where that stack is trivially
+// reconstructible: the top of a predicate instance (if/while/for) at
+// statement level in main's frame. There the Go stack is exactly a nest
+// of block/if/while/for executions, which the run records as an explicit
+// resume path (pathStep list); RunFrom rebuilds the stack by descending
+// it. Predicates inside callees or reached mid-expression are simply not
+// capture points — switched runs against them resume from the nearest
+// earlier eligible checkpoint instead.
+
+import (
+	"eol/internal/lang/ast"
+	"eol/internal/trace"
+)
+
+// DefaultCheckpoints is the checkpoint-count bound when none is given:
+// enough that the expected suffix is a small fraction of the trace,
+// small enough that the retained state stays far below one extra trace.
+const DefaultCheckpoints = 64
+
+// stepKind says how one resume-path step re-enters its construct.
+type stepKind uint8
+
+const (
+	stepBlock  stepKind = iota // executing stmt idx of a block
+	stepIfThen                 // inside the then-branch of an if
+	stepIfElse                 // inside the else-branch of an if
+	stepWhile                  // inside a while (body or loop top)
+	stepFor                    // inside a for, Init already executed
+)
+
+// pathStep is one level of the resume path: which construct main is
+// currently inside, and (for blocks) at which statement.
+type pathStep struct {
+	kind stepKind
+	node ast.Stmt // *ast.BlockStmt / *ast.IfStmt / *ast.WhileStmt / *ast.ForStmt
+	idx  int      // stepBlock: index of the executing statement
+}
+
+// Checkpoint is one execution snapshot: everything RunFrom needs to
+// continue the run from just before an eligible predicate instance.
+// Checkpoints are immutable once captured and safe for concurrent forks.
+type Checkpoint struct {
+	steps    int      // executed statement instances at capture
+	inPos    int      // input cursor
+	nextAct  int      // next activation ID
+	occ      []int    // per-statement occurrence counts (copy)
+	frames   []*frame // frozen frames (shared, copy-on-write)
+	path     []pathStep
+	rendered string // formatted output so far
+	prefix   *trace.Prefix
+}
+
+// Steps returns the step count at capture (== the trace prefix length,
+// since every step appends one entry in trace mode).
+func (ck *Checkpoint) Steps() int { return ck.steps }
+
+// TraceLen returns the number of trace entries captured before the
+// checkpoint; the forked run's first step produces entry TraceLen.
+func (ck *Checkpoint) TraceLen() int { return ck.prefix.Len() }
+
+// approxBytes estimates the state retained by this checkpoint: private
+// copies only — frozen array elements are shared with the base run (and
+// other checkpoints) and the trace prefix is shared by construction, so
+// neither is charged here.
+func (ck *Checkpoint) approxBytes() int64 {
+	n := int64(len(ck.occ))*8 + int64(len(ck.path))*32 + int64(len(ck.rendered)) + 256
+	for _, fr := range ck.frames {
+		n += int64(len(fr.scalars))*16 + int64(len(fr.arrays))*9 + int64(len(fr.ctrl))*16 + 64
+	}
+	return n
+}
+
+// CheckpointStats snapshots a store's counters.
+type CheckpointStats struct {
+	// Count and Bytes describe the retained checkpoints: how many
+	// survived thinning and (approximately) how much private state they
+	// pin.
+	Count int
+	Bytes int64
+	// Captured / Thinned count all capture and thinning events over the
+	// run, for tuning the Max bound.
+	Captured, Thinned int
+}
+
+// CheckpointStore collects checkpoints during one traced run
+// (Options.Checkpoints) and answers nearest-checkpoint queries for
+// RunFrom forks. Capture is driven by a deterministic stride-doubling
+// policy: capture at every eligible predicate once the step counter
+// passes the next mark; when the store exceeds Max, drop every second
+// checkpoint and double the stride. The result is a set of at most Max
+// checkpoints roughly evenly spaced over the run, chosen identically on
+// every execution (no clocks, no randomness — determinism rule 1 of
+// docs/CHECKPOINT.md).
+//
+// A store is bound to a single run. During the run it must only be
+// touched by the interpreter; afterwards Nearest/Stats/Len are read-only
+// and safe for concurrent use by verification workers.
+type CheckpointStore struct {
+	max    int
+	stride int // step distance to the next capture mark
+	next   int // step count at which the next capture may happen
+	tr     *trace.Trace
+	cks    []*Checkpoint // ascending by steps (== prefix length)
+
+	captured, thinned int
+	bytes             int64
+}
+
+// NewCheckpointStore returns a store bounded to max checkpoints
+// (<= 0 means DefaultCheckpoints).
+func NewCheckpointStore(max int) *CheckpointStore {
+	if max <= 0 {
+		max = DefaultCheckpoints
+	}
+	return &CheckpointStore{max: max, stride: 1}
+}
+
+// bind attaches the store to the run that fills it.
+func (st *CheckpointStore) bind(tr *trace.Trace) {
+	if st.tr != nil && st.tr != tr {
+		panic("interp: CheckpointStore reused across runs")
+	}
+	st.tr = tr
+}
+
+// Len returns the number of retained checkpoints.
+func (st *CheckpointStore) Len() int { return len(st.cks) }
+
+// Stats snapshots the store's counters.
+func (st *CheckpointStore) Stats() CheckpointStats {
+	return CheckpointStats{
+		Count: len(st.cks), Bytes: st.bytes,
+		Captured: st.captured, Thinned: st.thinned,
+	}
+}
+
+// Nearest returns the latest checkpoint whose trace prefix ends at or
+// before trace entry traceIdx — the cheapest starting point for a fork
+// that must re-execute entry traceIdx — or nil if no checkpoint
+// precedes it.
+func (st *CheckpointStore) Nearest(traceIdx int) *Checkpoint {
+	lo, hi := 0, len(st.cks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if st.cks[mid].prefix.Len() <= traceIdx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	return st.cks[lo-1]
+}
+
+// maybeCheckpoint captures a checkpoint if the store's policy asks for
+// one here. Called at predicate tops (if dispatch, while/for loop head),
+// before the predicate's beginStmt; eligibility additionally requires
+// executing at statement level in main's frame, where the resume path
+// fully describes the Go stack.
+func (ip *interp) maybeCheckpoint() {
+	st := ip.cks
+	if st == nil || ip.res.Steps < st.next || ip.frames[len(ip.frames)-1].id != 1 {
+		return
+	}
+	st.capture(ip)
+}
+
+// capture freezes the live frames and records the snapshot.
+func (st *CheckpointStore) capture(ip *interp) {
+	for _, fr := range ip.frames {
+		fr.freeze()
+	}
+	ck := &Checkpoint{
+		steps:    ip.res.Steps,
+		inPos:    ip.inPos,
+		nextAct:  ip.nextAct,
+		occ:      append([]int(nil), ip.occ...),
+		frames:   append([]*frame(nil), ip.frames...),
+		path:     append([]pathStep(nil), ip.path...),
+		rendered: ip.out.String(),
+		prefix:   st.tr.PrefixAt(ip.tr.Len()),
+	}
+	st.cks = append(st.cks, ck)
+	st.captured++
+	st.bytes += ck.approxBytes()
+	if len(st.cks) > st.max {
+		st.thin()
+	}
+	st.next = ip.res.Steps + st.stride
+}
+
+// thin drops every second checkpoint and doubles the stride.
+func (st *CheckpointStore) thin() {
+	kept := st.cks[:0]
+	var bytes int64
+	for i, ck := range st.cks {
+		if i%2 == 0 {
+			kept = append(kept, ck)
+			bytes += ck.approxBytes()
+		} else {
+			st.thinned++
+		}
+	}
+	for i := len(kept); i < len(st.cks); i++ {
+		st.cks[i] = nil // release for GC
+	}
+	st.cks = kept
+	st.bytes = bytes
+	st.stride *= 2
+}

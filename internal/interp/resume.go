@@ -1,0 +1,189 @@
+package interp
+
+import (
+	"eol/internal/lang/ast"
+	"eol/internal/trace"
+)
+
+// RunFrom forks a run from a checkpoint captured by an earlier traced
+// run of the same Compiled program and executes only the suffix. The
+// result is byte-identical — trace, outputs, rendered text, step count,
+// error — to a full Run with the same Options, provided:
+//
+//   - c is the same *Compiled the checkpoint was captured from (control
+//     stack entries hold CFG node pointers),
+//   - opts.Input equals the original run's input (the prefix consumed a
+//     cursor into it),
+//   - any Switch/Perturb plan targets an instance at or after the
+//     checkpoint (guaranteed when the checkpoint came from
+//     CheckpointStore.Nearest of the target's trace index),
+//   - opts.StepBudget exceeds the checkpoint's step count (the forked
+//     run inherits Steps, so a smaller budget would already be spent).
+//
+// The forked run is always traced: its Trace shares the prefix entries
+// with the original run's trace (see trace.Prefix) and owns the suffix.
+// opts.BuildTrace and opts.Rec are ignored (forks run on verification
+// workers, which must not emit observability events), and so is
+// opts.Checkpoints — a fork never captures new checkpoints.
+func RunFrom(c *Compiled, ck *Checkpoint, opts Options) *Result {
+	ip := &interp{
+		c:         c,
+		input:     opts.Input,
+		inPos:     ck.inPos,
+		plan:      opts.Switch,
+		perturb:   opts.Perturb,
+		budget:    opts.StepBudget,
+		maxFrames: opts.MaxFrames,
+		ctx:       opts.Ctx,
+		occ:       append([]int(nil), ck.occ...),
+		nextAct:   ck.nextAct,
+		res:       &Result{Steps: ck.steps, ResumedAt: ck.steps},
+	}
+	if ip.ctx != nil {
+		if err := ip.ctx.Err(); err != nil {
+			// Already expired: mirror Run's contract — no partial suffix.
+			ip.res.Err = &RuntimeError{Err: CtxErr(err)}
+			return ip.res
+		}
+	}
+	if ip.budget <= 0 {
+		ip.budget = DefaultStepBudget
+	}
+	if ip.maxFrames <= 0 {
+		ip.maxFrames = DefaultMaxFrames
+	}
+	ip.frames = append([]*frame(nil), ck.frames...)
+	ip.tr = ck.prefix.Fork()
+	ip.res.Trace = ip.tr
+	ip.res.Outputs = ip.tr.Outputs // both clipped: first append reallocates
+	ip.out.WriteString(ck.rendered)
+	ip.curEntry = -1
+	// The first suffix step must observe a dead context even though the
+	// inherited step count is off the ctxCheckEvery grid.
+	ip.forceCtx = true
+
+	ip.resume(ck.path)
+	ip.res.Rendered = ip.out.String()
+	return ip.res
+}
+
+// resume rebuilds the interpreter's Go stack by descending the
+// checkpoint's resume path and runs the program to completion, with the
+// same abort handling as run().
+func (ip *interp) resume(path []pathStep) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := r.(abort); ok {
+				ip.res.Err = a.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	// The path is never empty: capture requires executing inside main's
+	// body, whose block is the outermost step. Finishing the path IS
+	// finishing main; run()'s caller discards main's return value.
+	ip.resumePath(path)
+}
+
+// resumePath re-enters the construct at path[0], resumes path[1:] inside
+// it, and then executes that construct's remainder. The innermost step
+// re-enters at exactly the point maybeCheckpoint captured: a loop head
+// (execWhileLoop/execForLoop start with the next condition check) or a
+// block position whose statement is the checkpointed if — re-dispatched
+// fresh, which is safe because no part of it had executed yet.
+func (ip *interp) resumePath(path []pathStep) (signal, int64) {
+	st := path[0]
+	rest := path[1:]
+	switch st.kind {
+	case stepBlock:
+		b := st.node.(*ast.BlockStmt)
+		i := st.idx
+		if len(rest) > 0 {
+			// Finish the in-progress statement at i, then continue after it.
+			if sig, v := ip.resumePath(rest); sig != sigNormal {
+				return sig, v
+			}
+			i++
+		}
+		for ; i < len(b.Stmts); i++ {
+			if sig, v := ip.execStmt(b.Stmts[i]); sig != sigNormal {
+				return sig, v
+			}
+		}
+		return sigNormal, 0
+
+	case stepIfThen:
+		n := st.node.(*ast.IfStmt)
+		if len(rest) > 0 {
+			return ip.resumePath(rest)
+		}
+		return ip.execBlock(n.Then)
+
+	case stepIfElse:
+		// An innermost else-step means the checkpoint fired at an else-if's
+		// predicate top, before any of it executed: re-dispatch it fresh.
+		n := st.node.(*ast.IfStmt)
+		if len(rest) > 0 {
+			return ip.resumePath(rest)
+		}
+		return ip.execStmt(n.Else)
+
+	case stepWhile:
+		n := st.node.(*ast.WhileStmt)
+		if len(rest) > 0 {
+			sig, v := ip.resumePath(rest) // remainder of the body
+			switch sig {
+			case sigBreak:
+				return sigNormal, 0
+			case sigReturn:
+				return sigReturn, v
+			}
+		}
+		return ip.execWhileLoop(n)
+
+	case stepFor:
+		n := st.node.(*ast.ForStmt)
+		if len(rest) > 0 {
+			sig, v := ip.resumePath(rest) // remainder of the body
+			switch sig {
+			case sigBreak:
+				return sigNormal, 0
+			case sigReturn:
+				return sigReturn, v
+			}
+			if n.Post != nil {
+				ip.execStmt(n.Post)
+			}
+		}
+		return ip.execForLoop(n)
+	}
+	panic("interp: corrupt resume path")
+}
+
+// RunSwitchedFromStore is the checkpoint-accelerated switched run: it
+// picks the nearest checkpoint at or before pred's instance in the
+// original trace and forks from it. It returns nil when no checkpoint
+// qualifies (no store, predicate not in the trace, no checkpoint before
+// it, or a budget the fork could not honor) — the caller then falls back
+// to a full run. Safe for concurrent use once the capturing run has
+// finished.
+func RunSwitchedFromStore(cks *CheckpointStore, orig *trace.Trace, c *Compiled, opts Options) *Result {
+	if cks == nil || orig == nil || opts.Switch == nil {
+		return nil
+	}
+	idx := orig.FindInstance(trace.Instance{Stmt: opts.Switch.Stmt, Occ: opts.Switch.Occ})
+	if idx < 0 {
+		return nil
+	}
+	ck := cks.Nearest(idx)
+	if ck == nil {
+		return nil
+	}
+	if opts.StepBudget > 0 && opts.StepBudget <= ck.steps {
+		// A full run would exhaust this budget before reaching the
+		// checkpoint; forking would misreport the expiry step.
+		return nil
+	}
+	return RunFrom(c, ck, opts)
+}

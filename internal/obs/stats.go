@@ -48,6 +48,20 @@ type Stats struct {
 	// incremental mode on or off (docs/OBSERVABILITY.md).
 	Repropagated  int64
 	DirtyFraction float64
+
+	// Checkpoint counters (docs/CHECKPOINT.md). CheckpointHits counts
+	// switched runs served by forking a checkpoint of the failing run;
+	// SuffixSteps totals the interpreter steps those forks executed — the
+	// saving is the forks' full-run step counts minus SuffixSteps.
+	// Checkpoints and CheckpointBytes describe the store captured during
+	// the failing run. Like Repropagated above, all four describe the cost
+	// of the chosen execution mode, not the analysis result, so they are
+	// NOT emitted as journal gauges: the journal must stay byte-identical
+	// with checkpointing on or off.
+	CheckpointHits  int64
+	SuffixSteps     int64
+	Checkpoints     int
+	CheckpointBytes int64
 }
 
 // CacheHitRate returns hits / (hits + misses), or 0 with no lookups.

@@ -12,10 +12,10 @@ type Ancestry struct {
 // Ancestry builds (or returns the cached) ancestor index. The trace must
 // not be appended to afterwards.
 func (t *Trace) Ancestry() *Ancestry {
-	if t.anc != nil && len(t.anc.in) == len(t.Entries) {
+	if t.anc != nil && len(t.anc.in) == t.Len() {
 		return t.anc
 	}
-	a := &Ancestry{in: make([]int, len(t.Entries)), out: make([]int, len(t.Entries))}
+	a := &Ancestry{in: make([]int, t.Len()), out: make([]int, t.Len())}
 	clock := 0
 	// Iterative DFS over the forest, children in execution order.
 	type item struct {

@@ -19,7 +19,10 @@ type wireTrace struct {
 // components; Encode/Decode play that role here, letting traces be
 // captured once and analyzed by separate processes.
 func (t *Trace) Encode(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(wireTrace{Entries: t.Entries, Outputs: t.Outputs})
+	entries := make([]Entry, 0, t.Len())
+	entries = append(entries, t.base...)
+	entries = append(entries, t.entries...)
+	return gob.NewEncoder(w).Encode(wireTrace{Entries: entries, Outputs: t.Outputs})
 }
 
 // Decode reads a trace written by Encode and rebuilds all derived

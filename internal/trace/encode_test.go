@@ -27,8 +27,8 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if !reflect.DeepEqual(got.Entries, orig.Entries) {
-		t.Errorf("entries differ:\n%v\n%v", got.Entries, orig.Entries)
+	if !reflect.DeepEqual(got.entries, orig.entries) {
+		t.Errorf("entries differ:\n%v\n%v", got.entries, orig.entries)
 	}
 	if !reflect.DeepEqual(got.Outputs, orig.Outputs) {
 		t.Errorf("outputs differ")
@@ -47,7 +47,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 
 func TestDecodeRejectsCorruptParent(t *testing.T) {
 	bad := New()
-	bad.Entries = []Entry{{Inst: Instance{Stmt: 1, Occ: 1}, Parent: 5}}
+	bad.entries = []Entry{{Inst: Instance{Stmt: 1, Occ: 1}, Parent: 5}}
 	var buf bytes.Buffer
 	if err := bad.Encode(&buf); err != nil {
 		t.Fatal(err)

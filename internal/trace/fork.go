@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Prefix is a handle on the first n entries of a trace, from which
+// suffix-extending forks can be created in O(prefix) once and O(1)
+// allocations per fork thereafter. It is the trace-side half of
+// checkpointed re-execution (docs/CHECKPOINT.md): the interpreter
+// captures a Prefix at each checkpoint of the failing run, and every
+// switched run forked from that checkpoint starts from Fork() instead of
+// re-appending the whole unswitched prefix.
+//
+// The handle may be taken while the base trace is still being appended
+// to; the skeleton (per-entry child counts, root and output counts) is
+// computed lazily on first Fork, by which time the base run has
+// completed. Fork is safe for concurrent use.
+type Prefix struct {
+	t *Trace
+	n int
+
+	once     sync.Once
+	childCut []int32 // children of prefix entry i that are themselves < n
+	nRoots   int     // rootsList entries < n
+	nOuts    int     // outputs produced by entries < n
+}
+
+// PrefixAt returns a fork handle on the first n entries of t. The trace
+// must itself be unforked (one level of sharing keeps every index
+// meaning "offset into the one original failing run").
+func (t *Trace) PrefixAt(n int) *Prefix {
+	if t.base != nil {
+		panic("trace: PrefixAt on a forked trace")
+	}
+	if n < 0 || n > len(t.entries) {
+		panic(fmt.Sprintf("trace: PrefixAt(%d) out of range [0,%d]", n, len(t.entries)))
+	}
+	return &Prefix{t: t, n: n}
+}
+
+// Len returns the prefix length in entries.
+func (p *Prefix) Len() int { return p.n }
+
+// build computes the fork skeleton: one counting pass over the prefix.
+// Entries, children rows, rootsList and Outputs of the base trace are
+// append-only and already final for indices < n, so this is safe to run
+// lazily, after the base run finished growing the trace.
+func (p *Prefix) build() {
+	p.childCut = make([]int32, p.n)
+	for i := 0; i < p.n; i++ {
+		if par := p.t.entries[i].Parent; par >= 0 {
+			p.childCut[par]++
+		} else {
+			p.nRoots++
+		}
+	}
+	for _, o := range p.t.Outputs {
+		if o.Entry >= p.n {
+			break // outputs are appended in entry order
+		}
+		p.nOuts++
+	}
+}
+
+// Fork returns a new Trace whose first n entries are shared with the
+// base trace (no entry copies) and which can be appended to
+// independently. Shared state is handed out through capacity-clipped
+// slice views, so the first append to any shared slice reallocates
+// instead of scribbling on the base trace; the prefix entries themselves
+// must be treated as read-only through the fork (Trace.At documents
+// this).
+func (p *Prefix) Fork() *Trace {
+	p.once.Do(p.build)
+	t := p.t
+	f := &Trace{
+		base:      t.entries[:p.n:p.n],
+		Outputs:   t.Outputs[:p.nOuts:p.nOuts],
+		rootsList: t.rootsList[:p.nRoots:p.nRoots],
+		children:  make([][]int, p.n),
+		instIdx:   map[Instance]int{},
+		baseIdx:   t.instIdx,
+	}
+	for i, cut := range p.childCut {
+		if cut > 0 {
+			f.children[i] = t.children[i][:cut:cut]
+		}
+	}
+	return f
+}

@@ -19,6 +19,13 @@
 // Output events (printed int values) are recorded separately with their
 // producing entry; they are the observations that confidence analysis and
 // the strong-implicit-dependence check (Definition 4) work from.
+//
+// Entries are stored in up to two levels: a shared immutable prefix (set
+// only on traces created by Prefix.Fork, which is how checkpointed
+// re-execution shares the unswitched prefix of the failing run with every
+// forked switched run — see docs/CHECKPOINT.md) and an owned suffix that
+// Append extends. All accessors (At, Len, Children, FindInstance, ...)
+// present the two levels as one contiguous trace.
 package trace
 
 import (
@@ -65,7 +72,7 @@ type DefRec struct {
 
 // Entry is one executed statement instance.
 type Entry struct {
-	Idx    int      // == position in Trace.Entries (timestamp)
+	Idx    int      // == position in the trace (timestamp)
 	Inst   Instance // statement instance
 	Frame  int      // activation frame ID (0 = globals, 1 = main, ...)
 	Parent int      // trace index of the dynamic control parent, or -1
@@ -97,16 +104,28 @@ type Output struct {
 
 // Trace is a complete execution trace.
 type Trace struct {
-	Entries []Entry
+	// base is the shared immutable prefix: nil for traces built by New,
+	// a capacity-clipped view of another trace's entries for traces built
+	// by Prefix.Fork. It is never mutated and never appended to (the clip
+	// forces any append to reallocate).
+	base []Entry
+	// entries is the owned suffix Append extends.
+	entries []Entry
 	Outputs []Output
 
 	// children[i] lists the trace indices whose Parent == i, in order.
-	// Roots (Parent == -1) are in rootsList.
+	// Roots (Parent == -1) are in rootsList. Unlike entries, children
+	// covers base and suffix uniformly (fork pre-fills the prefix rows
+	// with capacity-clipped cuts of the base trace's rows).
 	children  [][]int
 	rootsList []int
 
-	// instIdx maps an Instance to its trace index.
+	// instIdx maps an Instance to its trace index (suffix entries only on
+	// forked traces). baseIdx, set by Fork, is the *complete* base
+	// trace's index; a hit is valid only when the index falls inside the
+	// shared prefix.
 	instIdx map[Instance]int
+	baseIdx map[Instance]int
 
 	// anc is the lazily built ancestor index; see Ancestry.
 	anc *Ancestry
@@ -122,8 +141,8 @@ type Trace struct {
 func (t *Trace) InstancesOf(stmt int) []int {
 	if t.stmtInsts == nil {
 		t.stmtInsts = map[int][]int{}
-		for i := range t.Entries {
-			s := t.Entries[i].Inst.Stmt
+		for i := 0; i < t.Len(); i++ {
+			s := t.At(i).Inst.Stmt
 			t.stmtInsts[s] = append(t.stmtInsts[s], i)
 		}
 	}
@@ -135,11 +154,11 @@ func New() *Trace {
 	return &Trace{instIdx: map[Instance]int{}}
 }
 
-// Append adds an entry (with Idx/Parent already set) and maintains the
+// Append adds an entry (with Parent already set) and maintains the
 // derived indices. It returns the entry index.
 func (t *Trace) Append(e Entry) int {
-	e.Idx = len(t.Entries)
-	t.Entries = append(t.Entries, e)
+	e.Idx = t.Len()
+	t.entries = append(t.entries, e)
 	t.children = append(t.children, nil)
 	if e.Parent >= 0 {
 		t.children[e.Parent] = append(t.children[e.Parent], e.Idx)
@@ -151,10 +170,16 @@ func (t *Trace) Append(e Entry) int {
 }
 
 // Len returns the number of entries.
-func (t *Trace) Len() int { return len(t.Entries) }
+func (t *Trace) Len() int { return len(t.base) + len(t.entries) }
 
-// At returns a pointer to entry i.
-func (t *Trace) At(i int) *Entry { return &t.Entries[i] }
+// At returns a pointer to entry i. Callers must treat entries inside a
+// forked trace's shared prefix as read-only.
+func (t *Trace) At(i int) *Entry {
+	if i < len(t.base) {
+		return &t.base[i]
+	}
+	return &t.entries[i-len(t.base)]
+}
 
 // Children returns the trace indices directly control dependent on entry
 // i (the members of entry i's region, excluding i itself and excluding
@@ -171,6 +196,12 @@ func (t *Trace) FindInstance(inst Instance) int {
 	if i, ok := t.instIdx[inst]; ok {
 		return i
 	}
+	// A base-index hit is only valid inside the shared prefix: the base
+	// trace continued past the fork point, and those later instances did
+	// not (necessarily) execute in this trace.
+	if i, ok := t.baseIdx[inst]; ok && i < len(t.base) {
+		return i
+	}
 	return -1
 }
 
@@ -178,7 +209,7 @@ func (t *Trace) FindInstance(inst Instance) int {
 func (t *Trace) Occurrences(stmt int) int {
 	n := 0
 	for occ := 1; ; occ++ {
-		if _, ok := t.instIdx[Instance{Stmt: stmt, Occ: occ}]; !ok {
+		if t.FindInstance(Instance{Stmt: stmt, Occ: occ}) < 0 {
 			return n
 		}
 		n++
@@ -217,7 +248,7 @@ func (t *Trace) OutputValues() []int64 {
 // IsAncestor reports whether entry a is an ancestor of entry b in the
 // region tree (reflexive: IsAncestor(x, x) == true).
 func (t *Trace) IsAncestor(a, b int) bool {
-	for n := b; n >= 0; n = t.Entries[n].Parent {
+	for n := b; n >= 0; n = t.At(n).Parent {
 		if n == a {
 			return true
 		}
@@ -229,7 +260,7 @@ func (t *Trace) IsAncestor(a, b int) bool {
 // depth 0).
 func (t *Trace) RegionDepth(i int) int {
 	d := 0
-	for n := t.Entries[i].Parent; n >= 0; n = t.Entries[n].Parent {
+	for n := t.At(i).Parent; n >= 0; n = t.At(n).Parent {
 		d++
 	}
 	return d
@@ -237,5 +268,5 @@ func (t *Trace) RegionDepth(i int) int {
 
 // String summarizes the trace.
 func (t *Trace) String() string {
-	return fmt.Sprintf("trace{%d entries, %d outputs}", len(t.Entries), len(t.Outputs))
+	return fmt.Sprintf("trace{%d entries, %d outputs}", t.Len(), len(t.Outputs))
 }

@@ -21,6 +21,12 @@ const DefaultCacheSize = 256
 // produce identical runs and the first result can stand in for all later
 // ones. Program and input enter as FNV-64a hashes so one cache can be
 // shared across localizations of different programs.
+//
+// Checkpointed replay (docs/CHECKPOINT.md) deliberately does NOT enter
+// the key: a run forked from a checkpoint is byte-identical to the full
+// run it replaces, so the cached value is independent of whether — and
+// from which checkpoint — it was produced. Adding a checkpoint component
+// would only split identical entries and lower the hit rate.
 type RunKey struct {
 	Prog   uint64 // hash of the program source
 	Input  uint64 // hash of the failing input vector

@@ -20,6 +20,13 @@
 //     many uses against the same predicate — the sibling-use pass of
 //     Fig. 5, and re-ranked candidates across PruneSlicing iterations —
 //     reuses one interpreter run instead of re-executing per use.
+//   - Checkpointed replay: when the base verifier carries an
+//     interp.CheckpointStore captured during the failing run, each cache
+//     MISS forks from the nearest checkpoint at or before the switched
+//     predicate and re-executes only the suffix (docs/CHECKPOINT.md).
+//     Forked runs are byte-identical to full runs, so the RunCache key
+//     needs no checkpoint component: the cached value is the same object
+//     either way, only cheaper to produce.
 //
 // Determinism: the interpreter is deterministic, alignment is a pure
 // function of the two traces, and absorption happens sequentially in
@@ -95,6 +102,14 @@ type Stats struct {
 	// StaticSkips counts verifications answered by the static skip
 	// filter (Config.Filter) without any switched re-execution.
 	StaticSkips int64
+	// CheckpointHits counts switched runs served by forking from a
+	// checkpoint of the failing run instead of replaying from the start;
+	// SuffixSteps totals the steps those forks actually executed (their
+	// full-run equivalents would have executed Steps, not Steps −
+	// ResumedAt). Neither is emitted as a journal counter: whether a
+	// given run forks depends on cache state, which varies across
+	// worker/shard configurations even though the run RESULTS do not.
+	CheckpointHits, SuffixSteps int64
 	// AlignedRegions totals the region steps walked by alignment across
 	// all absorbed verifications (see implicit.Result.AlignRegions).
 	AlignedRegions int64
@@ -135,6 +150,8 @@ type Engine struct {
 	runs             atomic.Int64
 	cacheHits        atomic.Int64
 	cacheMisses      atomic.Int64
+	checkpointHits   atomic.Int64
+	suffixSteps      atomic.Int64
 }
 
 // New builds an engine over base and installs itself as base's Runner.
@@ -190,13 +207,11 @@ func (e *Engine) SwitchedRun(pred trace.Instance, budget int) *interp.Result {
 
 func (e *Engine) switchedRunOnce(pred trace.Instance, budget int) *interp.Result {
 	if e.cache == nil {
-		e.runs.Add(1)
-		return implicit.RunSwitchedContext(e.ctx, e.base.C, e.base.Input, pred, budget)
+		return e.runSwitched(pred, budget)
 	}
 	key := RunKey{Prog: e.progHash, Input: e.inputHash, Pred: pred, Budget: budget}
 	res, hit := e.cache.GetOrRun(key, func() *interp.Result {
-		e.runs.Add(1)
-		r := implicit.RunSwitchedContext(e.ctx, e.base.C, e.base.Input, pred, budget)
+		r := e.runSwitched(pred, budget)
 		if r.Trace != nil {
 			r.Trace.Ancestry()
 		}
@@ -208,6 +223,22 @@ func (e *Engine) switchedRunOnce(pred trace.Instance, budget int) *interp.Result
 		e.cacheMisses.Add(1)
 	}
 	return res
+}
+
+// runSwitched performs one switched re-execution, forking from the
+// failing run's checkpoint store when the base verifier carries one.
+// Forked results are byte-identical to full runs (interp.RunFrom's
+// contract), so callers and the RunCache cannot tell the difference —
+// only the CheckpointHits/SuffixSteps counters record that the shortcut
+// was taken.
+func (e *Engine) runSwitched(pred trace.Instance, budget int) *interp.Result {
+	e.runs.Add(1)
+	r := implicit.RunSwitchedFrom(e.ctx, e.base.C, e.base.Input, e.base.Checkpoints, e.base.Orig, pred, budget)
+	if r.ResumedAt > 0 {
+		e.checkpointHits.Add(1)
+		e.suffixSteps.Add(int64(r.Steps - r.ResumedAt))
+	}
+	return r
 }
 
 // VerifyBatch verifies reqs and returns their verdicts in request order,
@@ -383,6 +414,7 @@ func (e *Engine) Stats() Stats {
 		AlignedRegions: e.alignedRegions,
 		Runs:           e.runs.Load(),
 		CacheHits:      e.cacheHits.Load(), CacheMisses: e.cacheMisses.Load(),
+		CheckpointHits: e.checkpointHits.Load(), SuffixSteps: e.suffixSteps.Load(),
 	}
 	if e.cache != nil {
 		s.CacheEvictions = e.cache.Stats().Evictions
