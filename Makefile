@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke verify-table journal-smoke corpus-smoke checkpoint-smoke
+.PHONY: all build test race vet lint bench bench-smoke verify-table journal-smoke corpus-smoke checkpoint-smoke staticreach-smoke
 
 all: build test lint
 
@@ -77,3 +77,25 @@ checkpoint-smoke:
 	cmp /tmp/eol-ckpt-on.json /tmp/eol-ckpt-off.json
 	cmp /tmp/eol-ckpt-on.jsonl /tmp/eol-ckpt-off.jsonl
 	$(GO) run ./cmd/journalcheck /tmp/eol-ckpt-on.jsonl
+
+# Static-reach smoke: the SPDG reach filter must fire on the
+# element-disjointness subjects (static_reach_skips > 0), the output
+# must be shard-count invariant, and switching the filter off must
+# change nothing but the skip accounting — the journal byte-for-byte,
+# the JSON up to the two skip counters.
+staticreach-smoke:
+	$(GO) build -o /tmp/eolcorpus-sr ./cmd/eolcorpus
+	/tmp/eolcorpus-sr -shards 1 -o /tmp/eol-sr-on.json \
+		-trace /tmp/eol-sr-on.jsonl testdata/corpus/staticreach.json
+	/tmp/eolcorpus-sr -shards 2 -o /tmp/eol-sr-on2.json \
+		-trace /tmp/eol-sr-on2.jsonl testdata/corpus/staticreach.json
+	cmp /tmp/eol-sr-on.json /tmp/eol-sr-on2.json
+	cmp /tmp/eol-sr-on.jsonl /tmp/eol-sr-on2.jsonl
+	/tmp/eolcorpus-sr -shards 1 -no-static-reach -o /tmp/eol-sr-off.json \
+		-trace /tmp/eol-sr-off.jsonl testdata/corpus/staticreach.json
+	cmp /tmp/eol-sr-on.jsonl /tmp/eol-sr-off.jsonl
+	grep -v -e '"static_reach_skips"' -e '"replay_skips"' /tmp/eol-sr-on.json > /tmp/eol-sr-on.stripped
+	grep -v -e '"static_reach_skips"' -e '"replay_skips"' /tmp/eol-sr-off.json > /tmp/eol-sr-off.stripped
+	cmp /tmp/eol-sr-on.stripped /tmp/eol-sr-off.stripped
+	grep -q '"static_reach_skips": [1-9]' /tmp/eol-sr-on.json
+	$(GO) run ./cmd/journalcheck /tmp/eol-sr-on.jsonl

@@ -155,6 +155,23 @@ func TestSlicer(t *testing.T) {
 	}
 }
 
+// TestSlicerEngineStats checks that -engine reports both the static
+// SPDG shape (nodes, per-kind edges, cones) and the per-slice dynamic
+// engine line.
+func TestSlicerEngineStats(t *testing.T) {
+	out, err := runTool(t, "slicer", "-correct", "testdata/fig1_fixed.mc",
+		"-input", "1", "-engine", "-slices", "ds", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if want := "SPDG: 18 nodes, 20 edges (control 3, data 17, summary 0), 2 predicates (0 harmless cones)"; !strings.Contains(out, want) {
+		t.Errorf("missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "engine: ") {
+		t.Errorf("missing dynamic engine line:\n%s", out)
+	}
+}
+
 func TestSlicerDOT(t *testing.T) {
 	dot := filepath.Join(t.TempDir(), "g.dot")
 	out, err := runTool(t, "slicer",
@@ -393,6 +410,50 @@ func TestEolvetLintFixtures(t *testing.T) {
 				t.Errorf("output differs from golden:\n got: %s\nwant: %s", out, golden)
 			}
 		})
+	}
+}
+
+// TestEolvetCodes pins the machine-readable pass table and keeps
+// docs/STATIC_CHECKS.md in lockstep with the registry: every row must
+// have a matching "### CODE `name` (severity)" catalog heading, and
+// every catalog heading must correspond to a registered pass.
+func TestEolvetCodes(t *testing.T) {
+	out, code := runExit(t, "eolvet", "-codes")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	golden, err := os.ReadFile(filepath.Join(repoRoot, "testdata", "eolvet_codes.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Errorf("table differs from golden:\n got: %s\nwant: %s", out, golden)
+	}
+	docBytes, err := os.ReadFile(filepath.Join(repoRoot, "docs", "STATIC_CHECKS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(docBytes)
+	registered := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		f := strings.Split(line, "\t")
+		if len(f) != 4 {
+			t.Fatalf("malformed -codes row %q", line)
+		}
+		registered[f[0]] = true
+		heading := "### " + f[0] + " `" + f[1] + "` (" + f[2] + ")"
+		if !strings.Contains(doc, heading) {
+			t.Errorf("docs/STATIC_CHECKS.md missing catalog heading %q", heading)
+		}
+	}
+	for _, line := range strings.Split(doc, "\n") {
+		if !strings.HasPrefix(line, "### EOL") {
+			continue
+		}
+		code := strings.Fields(line)[1]
+		if !registered[code] {
+			t.Errorf("docs/STATIC_CHECKS.md documents %s but no such pass is registered", code)
+		}
 	}
 }
 

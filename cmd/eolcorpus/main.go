@@ -56,6 +56,13 @@ type subjectJSON struct {
 	IPSStatic     int `json:"ips_static"`
 	IPSDynamic    int `json:"ips_dynamic"`
 
+	// The verification-avoidance split: candidates retired before any
+	// execution by the SPDG reach filter vs. by trace replay. Both are
+	// decided in the engine's sequential planning loop, so they are
+	// scheduling-independent and safe for the deterministic output.
+	StaticReachSkips int64 `json:"static_reach_skips"`
+	ReplaySkips      int64 `json:"replay_skips"`
+
 	Error     string  `json:"error,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 	Shard     *int    `json:"shard,omitempty"`
@@ -112,6 +119,7 @@ func main() {
 		CacheSize:     engFlags.Cache,
 		NoSharedCache: *privateFlag,
 		Checkpoints:   engFlags.Checkpoints,
+		NoStaticReach: engFlags.NoStaticReach,
 		Observer:      observer,
 	})
 	if cerr := closeObs(); cerr != nil {
@@ -143,6 +151,8 @@ func main() {
 			row.ImplicitEdges = rep.Stats.ImplicitEdges
 			row.IPSStatic = rep.IPS.Static
 			row.IPSDynamic = rep.IPS.Dynamic
+			row.StaticReachSkips = rep.Stats.StaticReachSkips
+			row.ReplaySkips = rep.Stats.StaticSkips
 		}
 		if *timingFlag {
 			if sr.Err != nil {

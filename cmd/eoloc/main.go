@@ -90,6 +90,7 @@ func main() {
 		VerifyWorkers:   engFlags.Workers,
 		VerifyCacheSize: engFlags.Cache,
 		Checkpoints:     engFlags.Checkpoints,
+		NoStaticReach:   engFlags.NoStaticReach,
 		Observer:        observer,
 	}
 

@@ -9,6 +9,7 @@
 //	-checks "dead-store,EOL0003"  run only the named analyzers
 //	-min info|warning|error       minimum severity to report (default info)
 //	-list                         print the analyzer catalog and exit
+//	-codes                        print the machine-readable pass table and exit
 //
 // Diagnostics print one per line as pos: severity: code: message,
 // prefixed with the file name when more than one file is given.
@@ -31,11 +32,22 @@ func main() {
 	checksFlag := flag.String("checks", "", "comma-separated analyzer names or codes (default: all)")
 	minFlag := flag.String("min", "info", "minimum severity to report: info, warning or error")
 	listFlag := flag.Bool("list", false, "print the analyzer catalog and exit")
+	codesFlag := flag.Bool("codes", false, "print the machine-readable pass table (code\\tname\\tseverity\\tsummary) and exit")
 	flag.Parse()
 
 	if *listFlag {
 		for _, a := range check.Analyzers() {
 			fmt.Printf("%s %-24s %-7s %s\n", a.Code, a.Name, a.Severity, firstLine(a.Doc))
+		}
+		return
+	}
+
+	// -codes is the registry's exchange format: one tab-separated row per
+	// registered pass, golden-tested so docs/STATIC_CHECKS.md cannot
+	// drift from the code (see cmd/cmd_integration_test.go).
+	if *codesFlag {
+		for _, a := range check.Analyzers() {
+			fmt.Printf("%s\t%s\t%s\t%s\n", a.Code, a.Name, a.Severity, firstLine(a.Doc))
 		}
 		return
 	}

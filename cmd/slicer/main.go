@@ -10,6 +10,7 @@
 //	-text "abc"       input as the bytes of a string
 //	-slices ds,rs,ps  which slices to print (default all)
 //	-instances        list statement instances, not just statistics
+//	-engine           print SPDG and dependence-graph engine statistics
 //	-dot FILE         write the relevant-slice dependence graph (with
 //	                  potential edges) as Graphviz DOT
 //	-trace FILE       write the deterministic JSONL run journal
@@ -32,6 +33,7 @@ import (
 	"eol/internal/lang/ast"
 	"eol/internal/obs"
 	"eol/internal/slicing"
+	"eol/internal/staticdep"
 	"eol/internal/trace"
 )
 
@@ -88,6 +90,13 @@ func main() {
 	rec.Begin("slicing")
 	cx := slicing.NewContext(faulty, run.Trace)
 	seed := slicing.FailureSeeds(run.Trace, seq)
+
+	if *engineFlag {
+		ss := staticdep.New(faulty, cx.Flow).Stats()
+		fmt.Printf("SPDG: %d nodes, %d edges (control %d, data %d, summary %d), %d predicates (%d harmless cones)\n",
+			ss.Nodes, ss.Edges(), ss.ControlEdges, ss.DataEdges, ss.SummaryEdges,
+			ss.Predicates, ss.HarmlessCones)
+	}
 
 	if *dotFlag != "" {
 		g := ddg.New(run.Trace)

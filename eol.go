@@ -265,6 +265,9 @@ type Settings struct {
 	VerifyCacheSize int
 	// NoStaticSkip disables the static skip-filter.
 	NoStaticSkip bool
+	// NoStaticReach disables the pre-execution static reach filter over
+	// the interprocedural dependence graph (see docs/STATICDEP.md).
+	NoStaticReach bool
 	// Checkpoints bounds the execution snapshots captured during the
 	// failing run for checkpointed switched replay (0 = default bound,
 	// negative = disabled; see WithCheckpoints / WithoutCheckpoints and
@@ -556,6 +559,15 @@ func WithoutStaticSkip() LocateOption {
 	return func(s *Settings) { s.NoStaticSkip = true }
 }
 
+// WithoutStaticReach disables the static reach filter, which proves
+// whole candidate families NOT_ID from the interprocedural dependence
+// graph before any execution (see docs/STATICDEP.md). The diagnosis is
+// identical either way; the flag exists for A/B comparison of run
+// counts (Stats.StaticReachSkips vs Stats.SwitchedRuns).
+func WithoutStaticReach() LocateOption {
+	return func(s *Settings) { s.NoStaticReach = true }
+}
+
 // WithObserver attaches an observer to the localization run: it receives
 // the deterministic event stream — phase spans, counter deltas, final
 // stats gauges. See NewJournal, NewProgress and docs/OBSERVABILITY.md.
@@ -681,6 +693,7 @@ func (s *Session) LocateContext(ctx context.Context, opts ...LocateOption) (*Dia
 		VerifyWorkers:   st.VerifyWorkers,
 		VerifyCacheSize: st.VerifyCacheSize,
 		NoStaticSkip:    st.NoStaticSkip,
+		NoStaticReach:   st.NoStaticReach,
 		NoIncremental:   st.NoIncremental,
 		Checkpoints:     st.Checkpoints,
 		Observer:        observer,

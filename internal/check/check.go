@@ -25,6 +25,7 @@ import (
 	"eol/internal/dataflow"
 	"eol/internal/interp"
 	"eol/internal/lang/token"
+	"eol/internal/staticdep"
 )
 
 // Severity grades a diagnostic. Only Error-severity diagnostics make a
@@ -72,6 +73,8 @@ func (d Diagnostic) String() string {
 type Unit struct {
 	C    *interp.Compiled
 	Flow *dataflow.Analysis
+
+	sd *staticdep.Graph // lazily built by StaticDeps
 }
 
 // Load compiles src and prepares the analysis unit.
@@ -90,6 +93,16 @@ func NewUnit(c *interp.Compiled, flow *dataflow.Analysis) *Unit {
 		flow = dataflow.New(c.Info, c.CFG)
 	}
 	return &Unit{C: c, Flow: flow}
+}
+
+// StaticDeps returns the unit's SPDG (internal/staticdep), building it
+// on first use and sharing it across passes. Not safe for concurrent
+// callers — analyzers run sequentially over one unit.
+func (u *Unit) StaticDeps() *staticdep.Graph {
+	if u.sd == nil {
+		u.sd = staticdep.New(u.C, u.Flow)
+	}
+	return u.sd
 }
 
 // Pass is one analyzer's run over one unit; Report collects findings
@@ -139,6 +152,8 @@ func Analyzers() []*Analyzer {
 		MissingReturn,
 		ConstIndexOOB,
 		UnswitchablePredicate,
+		InfluenceFreePredicate,
+		CrossCallDeadStore,
 	}
 }
 

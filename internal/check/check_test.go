@@ -98,6 +98,29 @@ func main() {
 	if (read() > 0) { t = 1; }
 	print(read());
 }`, []string{"EOL0002", "EOL0005"}},
+		{"EOL0009", check.Info, `
+func tally(v) {
+	var t = v * 2;
+	return t;
+}
+func main() {
+	var x = read();
+	if (x > 3) { tally(x); }
+	print(x);
+}`, nil},
+		{"EOL0010", check.Warning, `
+var count;
+var mirror;
+func record(v) {
+	count = count + v;
+	mirror = count;
+}
+func main() {
+	record(read());
+	mirror = 0;
+	print(count);
+	print(mirror);
+}`, nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.code, func(t *testing.T) {

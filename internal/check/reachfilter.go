@@ -1,0 +1,134 @@
+// Pre-execution skip-filter over the static program dependence graph.
+//
+// StaticReachFilter proves NOT_ID verdicts from the SPDG alone
+// (internal/staticdep) — before any execution, without even replaying
+// the failing trace. It is the static counterpart of SwitchFilter: where
+// the replay filter reconstructs one predicate instance's switched
+// effects from the concrete trace, the reach filter bounds ALL instances
+// of a predicate statement at once by its static forward cone.
+//
+// The argument. Let E be the failing execution and E' the execution with
+// one instance of predicate p's branch inverted. Switching overrides p's
+// outcome after its condition is evaluated, so E' shares E's prefix
+// through p itself; every statement whose execution count, operand
+// values or input/output behaviour can differ between E and E' is
+// reachable from p in the SPDG's forward closure over control, data and
+// call-summary edges — cone(p). The closure's data edges use the
+// interprocedural flow-sensitive reaching definitions of
+// staticdep.Graph, a sound over-approximation of every dynamic flow in
+// any run of the program, switched ones included. Then, for a
+// verification request (p, u, sym) whose use statement lies outside
+// cone(p):
+//
+//   - If the cone is "straight" — no predicate, return, break or
+//     continue inside it — then no control-flow decision outside p's
+//     own switched instance can change (a differing branch, or an
+//     escaping jump executing differently, requires a cone-resident
+//     statement), so E' executes statement-for-statement identically to
+//     E outside Region(p'). In particular u's counterpart u' exists at
+//     the same occurrence, and the verifier's region alignment
+//     (align.MatchCounted), which fails ID-conservatively on any
+//     structural divergence, provably succeeds.
+//   - u's reaching definition cannot move inside Region(p'): a
+//     region-internal definition reaching u would be a static def-use
+//     edge from inside the cone to u, putting u in the cone.
+//   - If the first wrong output statement is also outside the cone, its
+//     counterpart o' prints the same wrong value, so the verdict cannot
+//     strengthen to StrongID either.
+//   - A harmless cone (no fault-capable statement — indexing, division,
+//     shifts, assert — and no input consumption) guarantees E' cannot
+//     fault or desynchronize input anywhere: statements outside the
+//     cone execute with identical operands and the cone's own
+//     statements cannot fault or read. A budget-exceeded switched run
+//     yields NOT_ID by the paper's aggressive-conclusion rule, so even
+//     a longer E' is safe.
+//
+// Every escape hatch of that argument — u in the cone, wrong output in
+// the cone, a fault or read in the cone, any control statement in the
+// cone — makes the filter return false; it never guesses. Like
+// SwitchFilter it is unsound for PathMode verification and must not be
+// consulted there.
+//
+// Where the pruning power comes from. At symbol granularity the filter
+// is provably vacuous on engine requests: every request is a Definition-1
+// candidate (slicing.PotentialDeps), whose condition (iii) — the use's
+// dynamic reaching definition precedes p — means the executed path from
+// p to u contains no statement that defined the symbol, so no static
+// must-kill lies on it, so any sound path-insensitive reaching-definition
+// analysis must let the untaken-branch definition (condition (iv)) reach
+// u — putting u in cone(p) and blocking the fire. The escape is element
+// precision: candidate generation treats an array as one abstract
+// object, but staticdep's SPDG drops def→use data edges whose constant
+// index sets are provably disjoint (a region writing only buf[3] cannot
+// produce the reaching definition of a read of buf[1] — the verifier's
+// region-internal-definition check is per element, via the trace's
+// per-(symbol, element) use records). Candidates pairing a predicate
+// with a constant-index use its untaken branch provably cannot touch
+// are exactly the ones that become free NOT_IDs, in both the default
+// and the cross-function candidate modes (docs/STATICDEP.md).
+package check
+
+import (
+	"eol/internal/cfg"
+	"eol/internal/staticdep"
+	"eol/internal/trace"
+)
+
+// StaticReachFilter answers "is this verification provably NOT_ID?"
+// from the SPDG and the failing trace's statement mapping. It is
+// stateless per instance (all per-predicate work is precomputed in the
+// graph), so one filter serves any number of requests; like the replay
+// filter it is consulted from the engine's sequential planning loop.
+type StaticReachFilter struct {
+	sd *staticdep.Graph
+	tr *trace.Trace
+	// wrongStmt is the statement of the first wrong output, or -1 when
+	// the verifier has no expected value — sound to omit only then,
+	// since without one no verdict can strengthen to StrongID.
+	wrongStmt int
+}
+
+// NewStaticReachFilter builds a filter over one failing execution.
+// wrongEntry is the trace index of the first wrong output (pass -1 only
+// when the verifier runs without an expected value).
+func NewStaticReachFilter(sd *staticdep.Graph, tr *trace.Trace, wrongEntry int) *StaticReachFilter {
+	ws := -1
+	if wrongEntry >= 0 && wrongEntry < tr.Len() {
+		ws = tr.At(wrongEntry).Inst.Stmt
+	}
+	tr.Ancestry() // build the lazy index before the engine's workers exist
+	return &StaticReachFilter{sd: sd, tr: tr, wrongStmt: ws}
+}
+
+// ProvablyNotID reports whether switching the predicate instance at
+// trace index predIdx provably cannot yield an implicit-dependence
+// verdict for the use entry at useIdx — i.e. the switched run would
+// certainly return NOT_ID. The proof is per predicate STATEMENT: it
+// holds for every instance at once, which is what makes it free.
+func (f *StaticReachFilter) ProvablyNotID(predIdx, useIdx int) bool {
+	if predIdx < 0 || useIdx <= predIdx || useIdx >= f.tr.Len() {
+		return false
+	}
+	pe := f.tr.At(predIdx)
+	if pe.Branch != cfg.True && pe.Branch != cfg.False {
+		return false
+	}
+	// A use inside the predicate's own dynamic region — a taken-branch
+	// entry, or a callee entry evaluated by p's condition — vanishes or
+	// moves when the branch is switched; the verifier's alignment
+	// precondition excludes it, so the filter must too.
+	if f.tr.Ancestry().IsAncestor(predIdx, useIdx) {
+		return false
+	}
+	ps := pe.Inst.Stmt
+	if !f.sd.ConeHarmless(ps) || !f.sd.ConeStraight(ps) {
+		return false
+	}
+	if f.sd.InCone(ps, f.tr.At(useIdx).Inst.Stmt) {
+		return false
+	}
+	if f.wrongStmt >= 0 && f.sd.InCone(ps, f.wrongStmt) {
+		return false
+	}
+	return true
+}

@@ -30,6 +30,9 @@ type EngineFlags struct {
 	// failing run: 0 = interpreter default, negative disables
 	// checkpointed switched replay (docs/CHECKPOINT.md).
 	Checkpoints int
+	// NoStaticReach disables the pre-execution static reach filter over
+	// the interprocedural dependence graph (docs/STATICDEP.md).
+	NoStaticReach bool
 }
 
 // RegisterEngineFlags registers -workers and -cache on fs, plus the
@@ -45,6 +48,8 @@ func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
 	fs.IntVar(&ef.Cache, "verify-cache", 0, hiddenUsagePrefix+"alias for -cache")
 	fs.IntVar(&ef.Checkpoints, "checkpoints", 0,
 		"failing-run checkpoint bound for switched replay (0 = default, negative = disabled)")
+	fs.BoolVar(&ef.NoStaticReach, "no-static-reach", false,
+		"disable the pre-execution static reach filter")
 	hideAliases(fs)
 	return ef
 }

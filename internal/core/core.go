@@ -60,6 +60,7 @@ import (
 	"eol/internal/interp"
 	"eol/internal/obs"
 	"eol/internal/slicing"
+	"eol/internal/staticdep"
 	"eol/internal/trace"
 	"eol/internal/verifyengine"
 )
@@ -167,6 +168,19 @@ type Spec struct {
 	// by default; this flag exists for A/B comparison and debugging.
 	// The filter is unsound under PathMode and is force-disabled there.
 	NoStaticSkip bool
+	// NoStaticReach disables the SPDG reach filter
+	// (check.StaticReachFilter), which proves some verifications NOT_ID
+	// from the static program dependence graph alone — before any
+	// execution — and answers them with zero trace work. Like the replay
+	// filter above it never changes verdicts, Table-3 counters or the
+	// VerifyLog — only Stats.SwitchedRuns and StaticReachSkips — so it is
+	// on by default; the flag exists for A/B comparison and debugging.
+	// Unsound under PathMode and force-disabled there.
+	NoStaticReach bool
+	// StaticDeps optionally supplies a prebuilt SPDG for Program (e.g.
+	// the corpus driver's shared staticdep.Cache); nil means Locate
+	// builds its own when the reach filter is enabled.
+	StaticDeps *staticdep.Graph
 	// Observer, if non-nil, receives the run's observability stream:
 	// spans for each localization phase, counter deltas and final stats
 	// gauges (see internal/obs and docs/OBSERVABILITY.md). For a fixed
@@ -344,6 +358,19 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 			return flt.ProvablyNotID(req.Pred, req.Use, req.UseSym)
 		}
 	}
+	// SPDG reach filter: proves NOT_ID pre-execution from the static
+	// dependence graph, consulted by the engine before the replay filter
+	// above. Same PathMode exclusion.
+	if !spec.NoStaticReach && !spec.PathMode {
+		sd := spec.StaticDeps
+		if sd == nil {
+			sd = staticdep.New(spec.Program, cx.Flow)
+		}
+		rf := check.NewStaticReachFilter(sd, tr, wrong.Entry)
+		engCfg.ReachFilter = func(req implicit.Request) bool {
+			return rf.ProvablyNotID(req.Pred, req.Use)
+		}
+	}
 	eng := verifyengine.New(ver, engCfg)
 
 	rep := &Report{WrongOutput: wrong, Vexp: vexp, Trace: tr, Graph: g}
@@ -511,6 +538,7 @@ func (l *locator) finalizeStats() {
 	rep.Stats.CacheMisses = es.CacheMisses
 	rep.Stats.CacheEvictions = es.CacheEvictions
 	rep.Stats.StaticSkips = es.StaticSkips
+	rep.Stats.StaticReachSkips = es.StaticReachSkips
 	rep.Stats.AlignedRegions = es.AlignedRegions
 	rep.Stats.CheckpointHits = es.CheckpointHits
 	rep.Stats.SuffixSteps = es.SuffixSteps

@@ -41,6 +41,7 @@ import (
 	"eol/internal/lang/ast"
 	"eol/internal/obs"
 	"eol/internal/oracle"
+	"eol/internal/staticdep"
 	"eol/internal/verifyengine"
 )
 
@@ -70,6 +71,10 @@ type Options struct {
 	// (0 = interpreter default, negative disables checkpointed switched
 	// replay). Per-subject results are identical either way.
 	Checkpoints int
+	// NoStaticReach disables the pre-execution static reach filter
+	// (docs/STATICDEP.md). Per-subject results are identical either way;
+	// only the run-count split in Stats changes.
+	NoStaticReach bool
 	// Observer, if non-nil, receives the corpus journal: one corpus
 	// span containing a subject span per subject (manifest order) with
 	// the deterministic per-subject gauges, then corpus totals. Emitted
@@ -168,6 +173,9 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 		shared = verifyengine.NewRunCache(opts.CacheSize)
 	}
 	cc := &compileCache{m: map[string]*compileEntry{}}
+	// Subjects of one program family share a single immutable SPDG, the
+	// static analog of the compile cache above.
+	sd := staticdep.NewCache()
 
 	runCtx := ctx
 	cancel := func() {}
@@ -192,7 +200,7 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 				if i >= len(m.Subjects) {
 					return
 				}
-				res.Subjects[i] = runSubject(runCtx, &m.Subjects[i], shard, shared, cc, &opts)
+				res.Subjects[i] = runSubject(runCtx, &m.Subjects[i], shard, shared, cc, sd, &opts)
 				if opts.FailFast && res.Subjects[i].Err != nil {
 					cancel()
 				}
@@ -218,7 +226,7 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 }
 
 // runSubject performs one localization session end to end.
-func runSubject(ctx context.Context, s *Subject, shard int, shared *verifyengine.RunCache, cc *compileCache, opts *Options) SubjectResult {
+func runSubject(ctx context.Context, s *Subject, shard int, shared *verifyengine.RunCache, cc *compileCache, sd *staticdep.Cache, opts *Options) SubjectResult {
 	start := time.Now()
 	sr := SubjectResult{Name: s.Name, Shard: shard, Report: &core.Report{}}
 	fail := func(err error) SubjectResult {
@@ -251,10 +259,15 @@ func runSubject(ctx context.Context, s *Subject, shard int, shared *verifyengine
 		Expected:        s.Expected,
 		MaxIterations:   s.MaxIterations,
 		PathMode:        s.PathMode,
+		CrossFunctionPD: s.CrossFunctionPD,
 		VerifyWorkers:   opts.VerifyWorkers,
 		VerifyCacheSize: opts.CacheSize,
 		VerifyCache:     shared,
 		Checkpoints:     opts.Checkpoints,
+		NoStaticReach:   opts.NoStaticReach,
+	}
+	if !opts.NoStaticReach && !s.PathMode {
+		spec.StaticDeps = sd.Get(faulty)
 	}
 
 	if s.CorrectSource != "" {

@@ -84,14 +84,19 @@ type Subject struct {
 	MaxIterations int `json:"max_iterations,omitempty"`
 	// PathMode selects the safe explicit-path VerifyDep variant.
 	PathMode bool `json:"path_mode,omitempty"`
+	// CrossFunctionPD extends potential dependences across function
+	// boundaries for globals — the mode where the static reach filter
+	// has pruning power (see docs/STATICDEP.md).
+	CrossFunctionPD bool `json:"cross_function_pd,omitempty"`
 }
 
 // Defaults are manifest-wide subject defaults, folded into each subject
 // by Load where the subject leaves the field zero.
 type Defaults struct {
-	Deadline      Duration `json:"deadline,omitempty"`
-	MaxIterations int      `json:"max_iterations,omitempty"`
-	PathMode      bool     `json:"path_mode,omitempty"`
+	Deadline        Duration `json:"deadline,omitempty"`
+	MaxIterations   int      `json:"max_iterations,omitempty"`
+	PathMode        bool     `json:"path_mode,omitempty"`
+	CrossFunctionPD bool     `json:"cross_function_pd,omitempty"`
 }
 
 // Manifest is the on-disk corpus description: defaults plus subjects.
@@ -154,6 +159,9 @@ func Load(path string) (*Manifest, error) {
 		}
 		if m.Defaults.PathMode {
 			s.PathMode = true
+		}
+		if m.Defaults.CrossFunctionPD {
+			s.CrossFunctionPD = true
 		}
 	}
 	if err := m.Validate(); err != nil {

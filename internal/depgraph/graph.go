@@ -37,13 +37,14 @@ const (
 	Potential      // Definition 1 (relevant slicing)
 	Implicit       // Definition 2, verified by predicate switching
 	StrongImplicit // Definition 4
+	Summary        // interprocedural summary (static SPDG, internal/staticdep)
 )
 
 // Explicit selects the dependences observable during execution.
 const Explicit = Data | Control
 
 // AnyKind selects every edge kind.
-const AnyKind = Data | Control | Potential | Implicit | StrongImplicit
+const AnyKind = Data | Control | Potential | Implicit | StrongImplicit | Summary
 
 // String names the kind.
 func (k Kind) String() string {
@@ -58,6 +59,8 @@ func (k Kind) String() string {
 		return "id"
 	case StrongImplicit:
 		return "sid"
+	case Summary:
+		return "sum"
 	}
 	return "?"
 }

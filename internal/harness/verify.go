@@ -31,6 +31,11 @@ type VerifyRow struct {
 	Saved   int64
 	// Verifications is the (mode-independent) verification count.
 	Verifications int
+	// ReachSkips / ReplaySkips split the verification-avoidance sources:
+	// candidates retired pre-execution by the SPDG reach filter vs. by
+	// trace replay (docs/STATICDEP.md). Both are decided in the engine's
+	// sequential planning loop, hence mode-independent.
+	ReachSkips, ReplaySkips int64
 }
 
 // VerifyCase measures one case with the given parallel worker count,
@@ -104,6 +109,8 @@ func VerifyCase(p *bench.Prepared, opt Options) (*VerifyRow, error) {
 		Runs:          stats.SwitchedRuns,
 		Saved:         stats.CacheHits,
 		Verifications: reports[0].Stats.Verifications,
+		ReachSkips:    reports[0].Stats.StaticReachSkips,
+		ReplaySkips:   reports[0].Stats.StaticSkips,
 	}
 	if best[1] > 0 {
 		row.SpeedupPar = float64(best[0]) / float64(best[1])
@@ -150,12 +157,13 @@ func VerifyTable(opt Options) ([]VerifyRow, error) {
 // WriteVerifyTable renders the verification-throughput comparison.
 func WriteVerifyTable(w io.Writer, rows []VerifyRow) {
 	fmt.Fprintf(w, "Verification throughput: sequential vs parallel vs cached (min-of-reps)\n")
-	fmt.Fprintf(w, "%-16s %10s %10s %10s %6s %6s %7s %6s %6s\n",
-		"Case", "Seq", "Par", "Cached", "xPar", "xCache", "hit%", "runs", "verifs")
+	fmt.Fprintf(w, "%-16s %10s %10s %10s %6s %6s %7s %6s %6s %6s %6s\n",
+		"Case", "Seq", "Par", "Cached", "xPar", "xCache", "hit%", "runs", "verifs", "reach", "replay")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-16s %10s %10s %10s %5.2fx %5.2fx %6.1f%% %6d %6d\n",
+		fmt.Fprintf(w, "%-16s %10s %10s %10s %5.2fx %5.2fx %6.1f%% %6d %6d %6d %6d\n",
 			r.Case, r.Sequential.Round(time.Microsecond),
 			r.Parallel.Round(time.Microsecond), r.Cached.Round(time.Microsecond),
-			r.SpeedupPar, r.SpeedupCached, 100*r.HitRate, r.Runs, r.Verifications)
+			r.SpeedupPar, r.SpeedupCached, 100*r.HitRate, r.Runs, r.Verifications,
+			r.ReachSkips, r.ReplaySkips)
 	}
 }

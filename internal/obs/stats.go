@@ -34,6 +34,13 @@ type Stats struct {
 	// StaticSkips counts verifications answered by the static
 	// skip-filter without any re-execution.
 	StaticSkips int64
+	// StaticReachSkips counts verifications answered by the SPDG reach
+	// filter (check.StaticReachFilter) — proved NOT_ID before any
+	// execution, without even replaying the failing trace. Distinct from
+	// StaticSkips: the replay filter works one instance at a time, the
+	// reach filter retires whole candidate families per predicate
+	// statement.
+	StaticReachSkips int64
 	// AlignedRegions counts code regions walked by the alignment
 	// algorithm (Algorithm 1) during verification.
 	AlignedRegions int64
@@ -92,6 +99,7 @@ var statGauges = []struct {
 	{"cache_evictions", func(s *Stats) int64 { return s.CacheEvictions }},
 	{"static_skips", func(s *Stats) int64 { return s.StaticSkips }},
 	{"aligned_regions", func(s *Stats) int64 { return s.AlignedRegions }},
+	{"static_reach_skips", func(s *Stats) int64 { return s.StaticReachSkips }},
 }
 
 // Emit records every stats field as a gauge on r, in a fixed order.
