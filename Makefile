@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke verify-table journal-smoke corpus-smoke checkpoint-smoke staticreach-smoke
+.PHONY: all build test race vet lint bench bench-smoke verify-table journal-smoke corpus-smoke checkpoint-smoke staticreach-smoke serve-smoke
 
 all: build test lint
 
@@ -99,3 +99,34 @@ staticreach-smoke:
 	cmp /tmp/eol-sr-on.stripped /tmp/eol-sr-off.stripped
 	grep -q '"static_reach_skips": [1-9]' /tmp/eol-sr-on.json
 	$(GO) run ./cmd/journalcheck /tmp/eol-sr-on.jsonl
+
+# Serve smoke lane: boot the resident server (docs/SERVER.md) on an
+# ephemeral port and drive it with eoloadgen — health probe; a corpus
+# request whose response must be byte-identical to eolcorpus batch
+# output (the A/B contract); an async job whose NDJSON event stream
+# must validate as a corpus journal; and an open-loop load burst that
+# must observe at least one rate-limit 429.
+serve-smoke:
+	$(GO) build -o /tmp/eolserve-smoke ./cmd/eolserve
+	$(GO) build -o /tmp/eoloadgen-smoke ./cmd/eoloadgen
+	$(GO) build -o /tmp/eolcorpus-serve ./cmd/eolcorpus
+	rm -f /tmp/eol-serve-addr
+	/tmp/eolserve-smoke -addr 127.0.0.1:0 -addr-file /tmp/eol-serve-addr \
+		-rate 5 -burst 2 & \
+	SRV=$$!; \
+	trap 'kill $$SRV 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do test -s /tmp/eol-serve-addr && break; sleep 0.1; done; \
+	BASE=http://$$(head -1 /tmp/eol-serve-addr); \
+	/tmp/eoloadgen-smoke -base $$BASE -healthz && \
+	/tmp/eoloadgen-smoke -base $$BASE -tenant corpus \
+		-corpus testdata/corpus/smoke.json -o /tmp/eol-serve-corpus.json && \
+	{ /tmp/eolcorpus-serve -o /tmp/eol-serve-batch.json \
+		testdata/corpus/smoke.json; test $$? -eq 1; } && \
+	cmp /tmp/eol-serve-corpus.json /tmp/eol-serve-batch.json && \
+	/tmp/eoloadgen-smoke -base $$BASE -tenant jobs \
+		-corpus testdata/corpus/smoke.json -async \
+		-events /tmp/eol-serve-events.jsonl -o /tmp/eol-serve-job.json && \
+	/tmp/eoloadgen-smoke -base $$BASE -tenant hammer \
+		-subject testdata/corpus/smoke.json -n 12 -rate 100 \
+		-min-rejected 1 -o /tmp/eol-serve-load.json
+	$(GO) run ./cmd/journalcheck /tmp/eol-serve-events.jsonl

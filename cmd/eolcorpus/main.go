@@ -20,71 +20,27 @@
 //	-trace FILE     write the deterministic JSONL corpus journal
 //	-progress       print live progress to stderr
 //
-// The default JSON output and the -trace journal carry only
-// scheduling-independent fields and are byte-identical for any -shards
-// value (see docs/CORPUS.md). Exit status: 0 when every subject
+// The JSON result is the versioned wire document of internal/api
+// (api.CorpusReport, schema_version 1) — byte-identical to what an
+// eolserve instance responds with for the same subjects. The default
+// output and the -trace journal carry only scheduling-independent
+// fields and are byte-identical for any -shards value (see
+// docs/CORPUS.md and docs/SERVER.md). Exit status: 0 when every subject
 // completed, 1 when any subject failed (deadline, budget, compile
 // error, root cause not located), 2 for command-line misuse.
 package main
 
 import (
+	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
+	"eol/internal/api"
 	"eol/internal/cliutil"
 	"eol/internal/corpus"
 )
-
-// subjectJSON is one result row. Fields after "ips_dynamic" appear only
-// under -timing: they depend on scheduling and would break the
-// determinism contract of the default output.
-type subjectJSON struct {
-	Name    string `json:"name"`
-	Located bool   `json:"located"`
-	Class   string `json:"class,omitempty"`
-
-	UserPrunings  int `json:"user_prunings"`
-	Verifications int `json:"verifications"`
-	Iterations    int `json:"iterations"`
-	ExpandedEdges int `json:"expanded_edges"`
-	StrongEdges   int `json:"strong_edges"`
-	ImplicitEdges int `json:"implicit_edges"`
-	IPSStatic     int `json:"ips_static"`
-	IPSDynamic    int `json:"ips_dynamic"`
-
-	// The verification-avoidance split: candidates retired before any
-	// execution by the SPDG reach filter vs. by trace replay. Both are
-	// decided in the engine's sequential planning loop, so they are
-	// scheduling-independent and safe for the deterministic output.
-	StaticReachSkips int64 `json:"static_reach_skips"`
-	ReplaySkips      int64 `json:"replay_skips"`
-
-	Error     string  `json:"error,omitempty"`
-	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
-	Shard     *int    `json:"shard,omitempty"`
-}
-
-type cacheJSON struct {
-	Hits      int64   `json:"hits"`
-	Misses    int64   `json:"misses"`
-	Evictions int64   `json:"evictions"`
-	HitRate   float64 `json:"hit_rate"`
-}
-
-type resultJSON struct {
-	Subjects []subjectJSON `json:"subjects"`
-	Total    int           `json:"total"`
-	Located  int           `json:"located"`
-	Failed   int           `json:"failed"`
-
-	ElapsedMS float64    `json:"elapsed_ms,omitempty"`
-	Shards    int        `json:"shards,omitempty"`
-	Cache     *cacheJSON `json:"cache,omitempty"`
-}
 
 func main() {
 	shardsFlag := flag.Int("shards", 0, "concurrent localization sessions (0 = GOMAXPROCS)")
@@ -129,65 +85,18 @@ func main() {
 		cliutil.Fatalf("eolcorpus: %v", err)
 	}
 
-	out := resultJSON{
-		Subjects: make([]subjectJSON, len(res.Subjects)),
-		Total:    len(res.Subjects),
-		Located:  res.Located,
-		Failed:   res.Failed,
-	}
-	for i := range res.Subjects {
-		sr := &res.Subjects[i]
-		row := subjectJSON{
-			Name:    sr.Name,
-			Located: sr.Located(),
-			Class:   sr.Class,
-		}
-		if rep := sr.Report; rep != nil {
-			row.UserPrunings = rep.Stats.UserPrunings
-			row.Verifications = rep.Stats.Verifications
-			row.Iterations = rep.Stats.Iterations
-			row.ExpandedEdges = rep.Stats.ExpandedEdges
-			row.StrongEdges = rep.Stats.StrongEdges
-			row.ImplicitEdges = rep.Stats.ImplicitEdges
-			row.IPSStatic = rep.IPS.Static
-			row.IPSDynamic = rep.IPS.Dynamic
-			row.StaticReachSkips = rep.Stats.StaticReachSkips
-			row.ReplaySkips = rep.Stats.StaticSkips
-		}
-		if *timingFlag {
-			if sr.Err != nil {
-				row.Error = sr.Err.Error()
-			}
-			row.ElapsedMS = float64(sr.Elapsed) / float64(time.Millisecond)
-			shard := sr.Shard
-			row.Shard = &shard
-		}
-		out.Subjects[i] = row
-	}
-	if *timingFlag {
-		out.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
-		out.Shards = *shardsFlag
-		if res.SharedCache {
-			c := res.Cache
-			rate := 0.0
-			if c.Hits+c.Misses > 0 {
-				rate = float64(c.Hits) / float64(c.Hits+c.Misses)
-			}
-			out.Cache = &cacheJSON{Hits: c.Hits, Misses: c.Misses, Evictions: c.Evictions, HitRate: rate}
-		}
-	}
+	out := api.NewCorpusReport(res, *timingFlag, *shardsFlag)
 
-	enc, err := json.MarshalIndent(&out, "", "  ")
-	if err != nil {
+	var buf bytes.Buffer
+	if err := api.Encode(&buf, out); err != nil {
 		cliutil.Fatalf("eolcorpus: %v", err)
 	}
-	enc = append(enc, '\n')
 	if *outFlag != "" {
-		if err := os.WriteFile(*outFlag, enc, 0o644); err != nil {
+		if err := os.WriteFile(*outFlag, buf.Bytes(), 0o644); err != nil {
 			cliutil.Fatalf("eolcorpus: %v", err)
 		}
 	} else {
-		os.Stdout.Write(enc)
+		os.Stdout.Write(buf.Bytes())
 	}
 
 	if res.Failed > 0 {

@@ -1,0 +1,111 @@
+package cmd_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildServeTools builds eolserve and eoloadgen (not in the base tool
+// list) into binDir.
+func buildServeTools(t *testing.T) {
+	t.Helper()
+	bin(t, "eolcorpus") // ensure binDir and repoRoot exist
+	for _, tool := range []string{"eolserve", "eoloadgen"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+		cmd.Dir = repoRoot
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+}
+
+// TestServeRoundTrip boots eolserve on an ephemeral port and drives it
+// with eoloadgen: health probe, corpus request byte-identical to
+// eolcorpus batch output, async job with a validated event stream, and
+// a clean SIGINT shutdown.
+func TestServeRoundTrip(t *testing.T) {
+	buildServeTools(t)
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+
+	var serverLog bytes.Buffer
+	srv := exec.Command(filepath.Join(binDir, "eolserve"), "-addr", "127.0.0.1:0", "-addr-file", addrFile)
+	srv.Dir = repoRoot
+	srv.Stderr = &serverLog
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	var addr string
+	for i := 0; i < 200 && addr == ""; i++ {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never published its address:\n%s", serverLog.String())
+	}
+	base := "http://" + addr
+
+	if out, err := runTool(t, "eoloadgen", "-base", base, "-healthz"); err != nil {
+		t.Fatalf("healthz: %v\n%s", err, out)
+	}
+
+	// The server's corpus response must be byte-identical to batch
+	// output for the same manifest.
+	serveOut := filepath.Join(dir, "serve.json")
+	if out, err := runTool(t, "eoloadgen", "-base", base,
+		"-corpus", "testdata/corpus/smoke.json", "-o", serveOut); err != nil {
+		t.Fatalf("corpus: %v\n%s", err, out)
+	}
+	batchOut := filepath.Join(dir, "batch.json")
+	if out, code := runExit(t, "eolcorpus", "-o", batchOut, "testdata/corpus/smoke.json"); code != 1 {
+		t.Fatalf("eolcorpus exit %d, want 1 (deadline subject fails)\n%s", code, out)
+	}
+	sb, err := os.ReadFile(serveOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(batchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb, bb) {
+		t.Errorf("server response differs from batch output:\n--- serve:\n%s\n--- batch:\n%s", sb, bb)
+	}
+
+	// Async job: the event stream must be a valid journal (seq-contiguous,
+	// balanced spans) and the job must finish with a report.
+	events := filepath.Join(dir, "events.jsonl")
+	if out, err := runTool(t, "eoloadgen", "-base", base, "-tenant", "jobs",
+		"-corpus", "testdata/corpus/smoke.json", "-async", "-events", events,
+		"-o", filepath.Join(dir, "job.json")); err != nil {
+		t.Fatalf("async: %v\n%s", err, out)
+	}
+	if fi, err := os.Stat(events); err != nil || fi.Size() == 0 {
+		t.Errorf("event stream missing or empty: %v", err)
+	}
+
+	// SIGINT drains and exits 0.
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("unclean shutdown: %v\n%s", err, serverLog.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("shutdown timed out")
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"eol/internal/lang/ast"
 	"eol/internal/obs"
 	"eol/internal/oracle"
+	"eol/internal/serve"
 	"eol/internal/slicing"
 	"eol/internal/trace"
 )
@@ -856,6 +857,34 @@ func LoadCorpus(path string) (*CorpusManifest, error) { return corpus.Load(path)
 func LocateCorpus(ctx context.Context, m *CorpusManifest, opts CorpusOptions) (*CorpusResult, error) {
 	return corpus.Run(ctx, m, opts)
 }
+
+// CorpusShared is warm state shared across corpus runs: the compile
+// cache, the switched-run cache, and the static dependence cache. Pass
+// one via CorpusOptions.Shared to keep caches hot between LocateCorpus
+// calls (this is what the eolserve daemon does per process).
+type CorpusShared = corpus.Shared
+
+// NewCorpusShared builds warm corpus state. cacheSize sizes the
+// switched-run cache (0 = default, negative = disabled).
+func NewCorpusShared(cacheSize int) *CorpusShared { return corpus.NewShared(cacheSize) }
+
+// ---------------------------------------------------------------------------
+// Localization service
+
+// ServeConfig sizes a localization Server: per-request corpus options,
+// session/queue bounds, per-tenant rate limits, and the async job
+// table. The zero value is a usable development server. See
+// docs/SERVER.md.
+type ServeConfig = serve.Config
+
+// Server is the resident localization service: LocateCorpus behind
+// HTTP/JSON with persistent warm state, multi-tenant rate limiting,
+// and admission control. It implements http.Handler; responses are
+// byte-identical to eolcorpus batch output for the same subjects.
+type Server = serve.Server
+
+// NewServer builds a Server with fresh warm state.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 
 // ---------------------------------------------------------------------------
 // Observability

@@ -3,7 +3,9 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"eol/internal/obs"
@@ -35,17 +37,46 @@ type EngineFlags struct {
 	NoStaticReach bool
 }
 
+// deprecatedInt is an int flag.Value bound to the canonical flag's
+// target that prints a one-line deprecation warning when actually used
+// on a command line.
+type deprecatedInt struct {
+	target   *int
+	old, new string
+	out      func() io.Writer
+}
+
+func (d *deprecatedInt) String() string {
+	if d.target == nil {
+		return "0" // the zero Value flag.PrintDefaults probes
+	}
+	return strconv.Itoa(*d.target)
+}
+
+func (d *deprecatedInt) Set(s string) error {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	*d.target = v
+	fmt.Fprintf(d.out(), "warning: -%s is deprecated, use -%s\n", d.old, d.new)
+	return nil
+}
+
 // RegisterEngineFlags registers -workers and -cache on fs, plus the
 // old per-command spellings -verify-workers and -verify-cache as hidden
-// aliases bound to the same variables.
+// deprecated aliases bound to the same variables: they keep parsing but
+// warn on use and do not appear in -h output.
 func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
 	ef := &EngineFlags{}
 	fs.IntVar(&ef.Workers, "workers", 0,
 		"verification workers (0 = GOMAXPROCS, 1 = sequential)")
-	fs.IntVar(&ef.Workers, "verify-workers", 0, hiddenUsagePrefix+"alias for -workers")
+	fs.Var(&deprecatedInt{&ef.Workers, "verify-workers", "workers", fs.Output},
+		"verify-workers", hiddenUsagePrefix+"deprecated alias for -workers")
 	fs.IntVar(&ef.Cache, "cache", 0,
 		"switched-run cache size (0 = default, negative = disabled)")
-	fs.IntVar(&ef.Cache, "verify-cache", 0, hiddenUsagePrefix+"alias for -cache")
+	fs.Var(&deprecatedInt{&ef.Cache, "verify-cache", "cache", fs.Output},
+		"verify-cache", hiddenUsagePrefix+"deprecated alias for -cache")
 	fs.IntVar(&ef.Checkpoints, "checkpoints", 0,
 		"failing-run checkpoint bound for switched replay (0 = default, negative = disabled)")
 	fs.BoolVar(&ef.NoStaticReach, "no-static-reach", false,

@@ -24,12 +24,41 @@ func TestEngineFlagsCanonicalNames(t *testing.T) {
 
 func TestEngineFlagsHiddenAliases(t *testing.T) {
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
 	ef := RegisterEngineFlags(fs)
 	if err := fs.Parse([]string{"-verify-workers", "2", "-verify-cache", "64"}); err != nil {
 		t.Fatal(err)
 	}
 	if ef.Workers != 2 || ef.Cache != 64 {
 		t.Errorf("got workers=%d cache=%d, want 2 64", ef.Workers, ef.Cache)
+	}
+	// Using an alias warns, naming both spellings.
+	for _, want := range []string{
+		"warning: -verify-workers is deprecated, use -workers",
+		"warning: -verify-cache is deprecated, use -cache",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing deprecation warning %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestEngineFlagsNoWarningForCanonical: the canonical spellings parse
+// silently.
+func TestEngineFlagsNoWarningForCanonical(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	ef := RegisterEngineFlags(fs)
+	if err := fs.Parse([]string{"-workers", "2", "-cache", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	if ef.Workers != 2 || ef.Cache != 64 {
+		t.Errorf("got workers=%d cache=%d, want 2 64", ef.Workers, ef.Cache)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("canonical flags produced output: %q", buf.String())
 	}
 }
 

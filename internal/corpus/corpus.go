@@ -75,6 +75,15 @@ type Options struct {
 	// (docs/STATICDEP.md). Per-subject results are identical either way;
 	// only the run-count split in Stats changes.
 	NoStaticReach bool
+	// Shared, if non-nil, supplies externally owned warm state — the
+	// compile cache, the switched-run cache, and the SPDG cache — that
+	// outlives this Run call. Resident drivers (internal/serve) keep one
+	// Shared across requests so later runs of the same program family hit
+	// warm caches. When set, it overrides NoSharedCache and the
+	// cache-construction half of CacheSize (CacheSize still sizes
+	// per-subject private caches if Shared was built without a run
+	// cache). Per-subject results are identical warm or cold.
+	Shared *Shared
 	// Observer, if non-nil, receives the corpus journal: one corpus
 	// span containing a subject span per subject (manifest order) with
 	// the deterministic per-subject gauges, then corpus totals. Emitted
@@ -148,6 +157,53 @@ func (cc *compileCache) get(src string) (*interp.Compiled, error) {
 	return e.c, e.err
 }
 
+func (cc *compileCache) len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.m)
+}
+
+// Shared is the warm state a resident driver keeps across Run calls:
+// the content-keyed compile cache, the cross-request switched-run cache,
+// and the content-keyed SPDG cache. All three are safe for concurrent
+// use, so one Shared may serve overlapping Run calls. A batch Run
+// without Options.Shared builds the equivalent state privately and
+// discards it afterwards; the only difference warm state makes is
+// wall-clock time and the cache hit/miss split — never results.
+type Shared struct {
+	runs    *verifyengine.RunCache // nil when run caching is disabled
+	compile *compileCache
+	static  *staticdep.Cache
+}
+
+// NewShared builds warm state with a switched-run cache of cacheSize
+// entries (0 = verifyengine.DefaultCacheSize, negative = no shared run
+// cache).
+func NewShared(cacheSize int) *Shared {
+	s := &Shared{
+		compile: &compileCache{m: map[string]*compileEntry{}},
+		static:  staticdep.NewCache(),
+	}
+	if cacheSize >= 0 {
+		s.runs = verifyengine.NewRunCache(cacheSize)
+	}
+	return s
+}
+
+// RunCacheStats snapshots the shared switched-run cache counters
+// (zero value when the run cache is disabled). Cumulative across every
+// Run call that used this Shared.
+func (s *Shared) RunCacheStats() verifyengine.CacheStats {
+	if s.runs == nil {
+		return verifyengine.CacheStats{}
+	}
+	return s.runs.Stats()
+}
+
+// CompiledPrograms reports how many distinct program texts the compile
+// cache holds.
+func (s *Shared) CompiledPrograms() int { return s.compile.len() }
+
 // Run localizes every subject of m under ctx and opts. The returned
 // Result is non-nil unless the manifest itself is invalid; individual
 // subject failures (deadline, budget, not located) land in their
@@ -169,13 +225,21 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 	}
 
 	var shared *verifyengine.RunCache
-	if !opts.NoSharedCache && opts.CacheSize >= 0 {
-		shared = verifyengine.NewRunCache(opts.CacheSize)
+	var cc *compileCache
+	var sd *staticdep.Cache
+	if opts.Shared != nil {
+		// Resident mode: warm state owned by the caller, reused across
+		// Run calls.
+		shared, cc, sd = opts.Shared.runs, opts.Shared.compile, opts.Shared.static
+	} else {
+		if !opts.NoSharedCache && opts.CacheSize >= 0 {
+			shared = verifyengine.NewRunCache(opts.CacheSize)
+		}
+		cc = &compileCache{m: map[string]*compileEntry{}}
+		// Subjects of one program family share a single immutable SPDG,
+		// the static analog of the compile cache above.
+		sd = staticdep.NewCache()
 	}
-	cc := &compileCache{m: map[string]*compileEntry{}}
-	// Subjects of one program family share a single immutable SPDG, the
-	// static analog of the compile cache above.
-	sd := staticdep.NewCache()
 
 	runCtx := ctx
 	cancel := func() {}

@@ -144,6 +144,21 @@ func Load(path string) (*Manifest, error) {
 			}
 			s.CorrectSource = string(src)
 		}
+	}
+	m.Fold()
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Fold assigns default subject names and folds Defaults into each
+// subject where the subject leaves the field zero — the normalization
+// Load applies to file manifests, exported for manifests that arrive
+// already in memory (the server's wire requests). Idempotent.
+func (m *Manifest) Fold() {
+	for i := range m.Subjects {
+		s := &m.Subjects[i]
 		if s.Name == "" {
 			if s.File != "" {
 				s.Name = filepath.Base(s.File)
@@ -164,10 +179,6 @@ func Load(path string) (*Manifest, error) {
 			s.CrossFunctionPD = true
 		}
 	}
-	if err := m.Validate(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return &m, nil
 }
 
 // Validate checks the manifest is runnable: at least one subject, each

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errQueueFull is returned by admit when the wait queue is at capacity;
+// the caller maps it to 429/CodeRejected.
+var errQueueFull = errors.New("admission queue full")
+
+// admission bounds the number of requests localizing concurrently
+// (slots) and the number allowed to wait for a slot (the queue). A
+// request that finds both full is rejected immediately — under
+// overload the server sheds load with 429s instead of building an
+// unbounded backlog.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	waiting  atomic.Int64
+}
+
+func newAdmission(sessions, queue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, sessions),
+		maxQueue: int64(queue),
+	}
+}
+
+// admit acquires a session slot, waiting in the bounded queue if
+// necessary. It returns errQueueFull when the queue is at capacity and
+// ctx's error when the caller gave up while queued. On nil return the
+// caller must release().
+func (a *admission) admit(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		return errQueueFull
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admitAsync acquires a slot without the queue bound: accepted async
+// jobs are already bounded by the job table, so they block until a slot
+// frees or ctx (the server's lifetime) ends.
+func (a *admission) admitAsync(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// load snapshots (in-flight, queued) request counts.
+func (a *admission) load() (inflight, queued int) {
+	return len(a.slots), int(a.waiting.Load())
+}
+
+// bucketSet is per-tenant token-bucket rate limiting with lazy refill:
+// each tenant owns an independent bucket of burst tokens refilled at
+// rate tokens/second, so one tenant hammering the server cannot starve
+// the others (admission fairness is the queue's job; the buckets bound
+// per-tenant request *rates*).
+type bucketSet struct {
+	rate  float64 // tokens per second; <= 0 disables limiting
+	burst float64
+	now   func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxTenants bounds the bucket map: on insertion past the bound, full
+// (i.e. long-idle) buckets are dropped — they are indistinguishable
+// from absent ones, so eviction never changes behavior.
+const maxTenants = 4096
+
+func newBucketSet(rate float64, burst int, now func() time.Time) *bucketSet {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = math.Max(1, rate)
+	}
+	return &bucketSet{rate: rate, burst: b, now: now, m: map[string]*bucket{}}
+}
+
+// take tries to spend one token of tenant's bucket. On refusal it
+// returns the wait until a token will be available (the Retry-After
+// hint).
+func (bs *bucketSet) take(tenant string) (ok bool, retry time.Duration) {
+	if bs.rate <= 0 {
+		return true, 0
+	}
+	now := bs.now()
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[tenant]
+	if b == nil {
+		if len(bs.m) >= maxTenants {
+			bs.evictFull(now)
+		}
+		b = &bucket{tokens: bs.burst, last: now}
+		bs.m[tenant] = b
+	} else {
+		b.tokens = math.Min(bs.burst, b.tokens+now.Sub(b.last).Seconds()*bs.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / bs.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictFull drops every bucket that has refilled to capacity. Called
+// with bs.mu held.
+func (bs *bucketSet) evictFull(now time.Time) {
+	for k, b := range bs.m {
+		if math.Min(bs.burst, b.tokens+now.Sub(b.last).Seconds()*bs.rate) >= bs.burst {
+			delete(bs.m, k)
+		}
+	}
+}
+
+// tenants reports the number of tracked buckets.
+func (bs *bucketSet) tenants() int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return len(bs.m)
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"eol/internal/api"
+)
+
+// fakeClock is an injectable bucket clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBucketRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	bs := newBucketSet(2, 3, clk.now) // 2 tokens/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := bs.take("a"); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, retry := bs.take("a")
+	if ok {
+		t.Fatal("4th immediate request admitted past burst")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry hint %v, want (0, 1s] at 2 tokens/s", retry)
+	}
+
+	// Half a second refills one token — exactly one more request.
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := bs.take("a"); !ok {
+		t.Fatal("token not refilled after 500ms at 2/s")
+	}
+	if ok, _ := bs.take("a"); ok {
+		t.Fatal("second token appeared from nowhere")
+	}
+
+	// A long idle period refills to burst, not beyond.
+	clk.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := bs.take("a"); !ok {
+			t.Fatalf("post-idle token %d refused", i)
+		}
+	}
+	if ok, _ := bs.take("a"); ok {
+		t.Fatal("idle refill exceeded burst")
+	}
+}
+
+func TestBucketTenantIsolation(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	bs := newBucketSet(1, 1, clk.now)
+	if ok, _ := bs.take("a"); !ok {
+		t.Fatal("first request refused")
+	}
+	if ok, _ := bs.take("a"); ok {
+		t.Fatal("tenant a over burst")
+	}
+	// Tenant b has its own bucket, untouched by a's exhaustion.
+	if ok, _ := bs.take("b"); !ok {
+		t.Fatal("tenant b starved by tenant a")
+	}
+	if n := bs.tenants(); n != 2 {
+		t.Fatalf("tenants = %d, want 2", n)
+	}
+}
+
+func TestBucketEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	bs := newBucketSet(1, 1, clk.now)
+	for i := 0; i < maxTenants; i++ {
+		bs.take("t" + strconv.Itoa(i))
+	}
+	if n := bs.tenants(); n != maxTenants {
+		t.Fatalf("tenants = %d, want %d", n, maxTenants)
+	}
+	// Everyone refills to capacity; the next insertion evicts them all.
+	clk.advance(time.Hour)
+	bs.take("fresh")
+	if n := bs.tenants(); n != 1 {
+		t.Fatalf("tenants = %d after eviction, want 1", n)
+	}
+}
+
+func TestBucketDisabled(t *testing.T) {
+	bs := newBucketSet(0, 0, nil)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := bs.take("a"); !ok {
+			t.Fatal("rate 0 must mean unlimited")
+		}
+	}
+	if n := bs.tenants(); n != 0 {
+		t.Fatalf("disabled limiter tracked %d tenants", n)
+	}
+}
+
+// TestAdmissionQueueOverflow drives the admission struct directly:
+// slots full + queue full -> errQueueFull; a queued waiter gets the
+// slot when released; a canceled waiter reports its ctx error.
+func TestAdmissionQueueOverflow(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter fits in the queue.
+	got := make(chan error, 1)
+	go func() { got <- a.admit(context.Background()) }()
+	waitFor(t, func() bool { _, q := a.load(); return q == 1 })
+
+	// The second waiter overflows.
+	if err := a.admit(context.Background()); err != errQueueFull {
+		t.Fatalf("overflow admit: %v, want errQueueFull", err)
+	}
+
+	// Releasing the slot hands it to the queued waiter.
+	a.release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	a.release()
+
+	// A waiter whose context dies while queued reports that.
+	if err := a.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	if err := a.admit(ctx); err != context.Canceled {
+		t.Fatalf("canceled waiter: %v, want context.Canceled", err)
+	}
+	a.release()
+}
+
+func waitFor(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRateLimitHTTP: the whole 429 path over HTTP — status, body
+// class, Retry-After header, statsz counter, and tenant isolation. The
+// fixed clock means buckets never refill.
+func TestRateLimitHTTP(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	_, ts := startServer(t, Config{Rate: 0.5, Burst: 1, Now: clk.now})
+	body := locateBody(t, 0)
+
+	if code, _, b := post(t, ts.URL+"/v1/locate", "alice", body); code != 200 {
+		t.Fatalf("first request: %d %s", code, b)
+	}
+	code, hdr, b := post(t, ts.URL+"/v1/locate", "alice", body)
+	if code != 429 {
+		t.Fatalf("second request: %d %s, want 429", code, b)
+	}
+	var eb api.ErrorBody
+	if err := json.Unmarshal(b, &eb); err != nil || eb.Class != api.CodeRejected {
+		t.Errorf("429 body %s (err %v), want class rejected", b, err)
+	}
+	retry, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || retry < 1 || retry > 2 {
+		t.Errorf("Retry-After %q, want 1..2 seconds at rate 0.5", hdr.Get("Retry-After"))
+	}
+	// Another tenant's bucket is untouched.
+	if code, _, b := post(t, ts.URL+"/v1/locate", "bob", body); code != 200 {
+		t.Errorf("tenant bob hit alice's limit: %d %s", code, b)
+	}
+
+	var st Statsz
+	_, sb := get(t, ts.URL+"/v1/statsz", "")
+	if err := json.Unmarshal(sb, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RejectedRate != 1 || st.Tenants != 2 {
+		t.Errorf("statsz after rate rejection: %+v", st)
+	}
+}
+
+// TestQueueOverflowHTTP: with the single session slot held by a test
+// hold and the queue occupied, the next request is shed with 429 +
+// Retry-After and class rejected.
+func TestQueueOverflowHTTP(t *testing.T) {
+	s, ts := startServer(t, Config{Sessions: 1, Queue: 1})
+	body := locateBody(t, 0)
+
+	// Occupy the slot directly, then park one request in the queue.
+	if err := s.adm.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	type reply struct {
+		code int
+		body []byte
+	}
+	queued := make(chan reply, 1)
+	go func() {
+		c, _, b := postRaw(ts.URL+"/v1/locate", "", body)
+		queued <- reply{c, b}
+	}()
+	waitFor(t, func() bool { _, q := s.adm.load(); return q == 1 })
+
+	code, hdr, b := post(t, ts.URL+"/v1/locate", "", body)
+	if code != 429 {
+		t.Fatalf("overflow request: %d %s, want 429", code, b)
+	}
+	var eb api.ErrorBody
+	if err := json.Unmarshal(b, &eb); err != nil || eb.Class != api.CodeRejected {
+		t.Errorf("429 body %s (err %v), want class rejected", b, err)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("queue 429 missing Retry-After")
+	}
+
+	// Free the slot: the queued request must complete normally.
+	s.adm.release()
+	r := <-queued
+	if r.code != 200 {
+		t.Fatalf("queued request after release: %d %s", r.code, r.body)
+	}
+
+	var st Statsz
+	_, sb := get(t, ts.URL+"/v1/statsz", "")
+	if err := json.Unmarshal(sb, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RejectedQueue != 1 {
+		t.Errorf("rejected_queue = %d, want 1", st.RejectedQueue)
+	}
+}

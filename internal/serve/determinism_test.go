@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"eol/internal/api"
+	"eol/internal/corpus"
+)
+
+// batchBytes renders the smoke manifest exactly as `eolcorpus -o` does:
+// corpus.Run with the given options, api.NewCorpusReport with timing
+// off, api.Encode.
+func batchBytes(t testing.TB, opts corpus.Options) []byte {
+	t.Helper()
+	res, err := corpus.Run(context.Background(), loadManifest(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := api.Encode(&buf, api.NewCorpusReport(res, false, 0)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServeMatchesBatch is the core A/B determinism pin: a
+// POST /v1/corpus response must be byte-identical to eolcorpus batch
+// output for the same subjects — cold cache, warm cache, and across
+// server concurrency configs.
+func TestServeMatchesBatch(t *testing.T) {
+	want := batchBytes(t, corpus.Options{})
+	body := corpusBody(t)
+
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", Config{}},
+		{"sharded", Config{Corpus: corpus.Options{Shards: 3, VerifyWorkers: 2}}},
+		{"no run cache", Config{Corpus: corpus.Options{CacheSize: -1}}},
+	}
+	for _, c := range configs {
+		t.Run(c.name, func(t *testing.T) {
+			_, ts := startServer(t, c.cfg)
+			code, _, cold := post(t, ts.URL+"/v1/corpus", "", body)
+			if code != 200 {
+				t.Fatalf("cold: %d %s", code, cold)
+			}
+			if !bytes.Equal(cold, want) {
+				t.Errorf("cold response differs from batch output:\ngot:\n%s\nwant:\n%s", cold, want)
+			}
+			// Second request reuses every warm cache; verdicts and
+			// counters must not move.
+			code, _, warm := post(t, ts.URL+"/v1/corpus", "", body)
+			if code != 200 {
+				t.Fatalf("warm: %d %s", code, warm)
+			}
+			if !bytes.Equal(warm, cold) {
+				t.Errorf("warm response differs from cold:\ngot:\n%s\nwant:\n%s", warm, cold)
+			}
+		})
+	}
+}
+
+// TestLocateMatchesCorpusRows: a /v1/locate response for one subject
+// carries the same SubjectResult as that subject's row in the corpus
+// report.
+func TestLocateMatchesCorpusRows(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	var report api.CorpusReport
+	if err := json.Unmarshal(batchBytes(t, corpus.Options{}), &report); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range report.Subjects {
+		code, _, b := post(t, ts.URL+"/v1/locate", "", locateBody(t, i))
+		if code != 200 {
+			t.Fatalf("locate %s: %d %s", row.Name, code, b)
+		}
+		var resp api.LocateResponse
+		if err := json.Unmarshal(b, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.SubjectResult != row {
+			t.Errorf("locate %s row differs from corpus row:\ngot:  %+v\nwant: %+v", row.Name, resp.SubjectResult, row)
+		}
+	}
+}
+
+// TestConcurrentRequestsDeterministic hammers one server with parallel
+// identical corpus requests; every response must be identical despite
+// shared caches and slot contention.
+func TestConcurrentRequestsDeterministic(t *testing.T) {
+	_, ts := startServer(t, Config{Sessions: 2, Queue: 32})
+	body := corpusBody(t)
+	want := batchBytes(t, corpus.Options{})
+
+	const n = 6
+	type outcome struct {
+		body []byte
+		err  error
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			// Plain http here: t.Fatal is not legal off the test goroutine.
+			resp, err := http.Post(ts.URL+"/v1/corpus", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err == nil && resp.StatusCode != 200 {
+				err = fmt.Errorf("status %d: %s", resp.StatusCode, b)
+			}
+			results <- outcome{body: b, err: err}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatalf("concurrent request: %v", o.err)
+		}
+		if !bytes.Equal(o.body, want) {
+			t.Errorf("concurrent response %d differs from batch output", i)
+		}
+	}
+}

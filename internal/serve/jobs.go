@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+
+	"eol/internal/api"
+	"eol/internal/obs"
+)
+
+// feed is the obs.Observer behind GET /v1/jobs/{id}/events: it retains
+// the job's corpus journal in arrival order and lets any number of
+// stream subscribers replay it from the start and then follow until the
+// job closes it. Because the corpus journal is emitted post-run from a
+// single goroutine and carries only scheduling-independent fields
+// (docs/CORPUS.md), the streamed feed for a given manifest is
+// byte-identical run to run — it is the journal, delivered over HTTP.
+type feed struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []obs.Event
+	closed bool
+}
+
+func newFeed() *feed {
+	f := &feed{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Event implements obs.Observer.
+func (f *feed) Event(e obs.Event) {
+	f.mu.Lock()
+	f.events = append(f.events, e)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// close marks the stream complete and wakes every subscriber.
+func (f *feed) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// wake re-evaluates every blocked next call (used to observe subscriber
+// cancellation, which sync.Cond cannot select on).
+func (f *feed) wake() { f.cond.Broadcast() }
+
+// next blocks until event i exists (returning it), the feed is closed
+// and drained (ok=false), or stop returns true (ok=false).
+func (f *feed) next(i int, stop func() bool) (e obs.Event, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if i < len(f.events) {
+			return f.events[i], true
+		}
+		if f.closed || stop() {
+			return obs.Event{}, false
+		}
+		f.cond.Wait()
+	}
+}
+
+// job is one async corpus run.
+type job struct {
+	id     string
+	tenant string
+	feed   *feed
+	done   chan struct{}
+
+	mu     sync.Mutex
+	state  string
+	report *api.CorpusReport
+	errb   *api.ErrorBody
+}
+
+// status snapshots the job's wire status.
+func (j *job) status() *api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &api.JobStatus{
+		SchemaVersion: api.SchemaVersion,
+		ID:            j.id,
+		State:         j.state,
+		Report:        j.report,
+		Error:         j.errb,
+	}
+}
+
+func (j *job) setState(s string) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// finish records the outcome, closes the feed, and releases waiters.
+func (j *job) finish(report *api.CorpusReport, errb *api.ErrorBody) {
+	j.mu.Lock()
+	j.state = api.JobDone
+	j.report, j.errb = report, errb
+	j.mu.Unlock()
+	j.feed.close()
+	close(j.done)
+}
+
+// jobTable registers async jobs, bounded to max entries: once full,
+// the oldest finished job is evicted; if every job is still live, new
+// submissions are rejected (admission pressure, not memory growth).
+type jobTable struct {
+	mu    sync.Mutex
+	max   int
+	jobs  map[string]*job
+	order []string // insertion order, for eviction
+}
+
+func newJobTable(max int) *jobTable {
+	return &jobTable{max: max, jobs: map[string]*job{}}
+}
+
+// add registers a new queued job for tenant, or reports ok=false when
+// the table is full of live jobs.
+func (t *jobTable) add(tenant string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.jobs) >= t.max && !t.evictDone() {
+		return nil, false
+	}
+	j := &job{
+		id:     newJobID(),
+		tenant: tenant,
+		state:  api.JobQueued,
+		feed:   newFeed(),
+		done:   make(chan struct{}),
+	}
+	t.jobs[j.id] = j
+	t.order = append(t.order, j.id)
+	return j, true
+}
+
+// evictDone drops the oldest finished job; reports whether it freed a
+// slot. Called with t.mu held.
+func (t *jobTable) evictDone() bool {
+	for i, id := range t.order {
+		j := t.jobs[id]
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		done := j.state == api.JobDone
+		j.mu.Unlock()
+		if done {
+			delete(t.jobs, id)
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// get returns tenant's job by id. Jobs are tenant-scoped: another
+// tenant's id behaves exactly like an unknown one.
+func (t *jobTable) get(id, tenant string) *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j := t.jobs[id]
+	if j == nil || j.tenant != tenant {
+		return nil
+	}
+	return j
+}
+
+// len reports the number of registered jobs.
+func (t *jobTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.jobs)
+}
+
+// newJobID returns an unguessable 16-hex-digit id (job ids are the only
+// handle on another tenant's results, so they must not be enumerable).
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("serve: crypto/rand unavailable: " + err.Error())
+	}
+	return "j" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"eol/internal/api"
+)
+
+// LoadOptions configures an open-loop load run against a server's
+// POST /v1/locate endpoint: requests are fired on a fixed arrival
+// schedule (Rate per second) regardless of completions — the
+// closed-loop alternative would slow its arrival rate exactly when the
+// server struggles, hiding queueing delay (coordinated omission).
+type LoadOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Tenant is sent as X-Tenant ("" = server default).
+	Tenant string
+	// Requests is the total request count (0 = 100).
+	Requests int
+	// Rate is the arrival rate in requests/second (0 = closed loop:
+	// each request fires when the previous completes).
+	Rate float64
+	// Concurrency caps in-flight requests in open-loop mode so an
+	// unresponsive server cannot drown the generator (0 = 256). Arrivals
+	// past the cap are counted as errors (the server was effectively
+	// unreachable at that arrival).
+	Concurrency int
+	// Client is the HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadReport summarizes one load run. Latency quantiles are measured
+// arrival-to-response over every request that got an HTTP response
+// (any status).
+type LoadReport struct {
+	SchemaVersion int     `json:"schema_version"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	Rejected      int     `json:"rejected"` // 429s: rate limit or queue overflow
+	Errors        int     `json:"errors"`   // transport errors + non-2xx/429
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"` // OK responses per second
+	P50MS         float64 `json:"p50_ms"`
+	P90MS         float64 `json:"p90_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MaxMS         float64 `json:"max_ms"`
+}
+
+// RunLoad drives body (an api.LocateRequest document) at the server
+// opts.Requests times and reports latency quantiles and outcome counts.
+func RunLoad(ctx context.Context, opts LoadOptions, body []byte) (*LoadReport, error) {
+	n := opts.Requests
+	if n <= 0 {
+		n = 100
+	}
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = 256
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := opts.BaseURL + "/v1/locate"
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rep       = &LoadReport{SchemaVersion: api.SchemaVersion, Requests: n}
+		wg        sync.WaitGroup
+		sem       = make(chan struct{}, conc)
+	)
+	fire := func() {
+		defer wg.Done()
+		start := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+			if opts.Tenant != "" {
+				req.Header.Set("X-Tenant", opts.Tenant)
+			}
+			var resp *http.Response
+			resp, err = client.Do(req)
+			if err == nil {
+				resp.Body.Close()
+				mu.Lock()
+				latencies = append(latencies, time.Since(start))
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rep.Rejected++
+				case resp.StatusCode >= 200 && resp.StatusCode < 300:
+					rep.OK++
+				default:
+					rep.Errors++
+				}
+				mu.Unlock()
+				return
+			}
+		}
+		mu.Lock()
+		rep.Errors++
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var interval time.Duration
+	if opts.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / opts.Rate)
+	}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if interval > 0 {
+			// Open loop: fire on the schedule, never waiting for
+			// completions (up to the generator's own capacity).
+			if next := start.Add(time.Duration(i) * interval); time.Until(next) > 0 {
+				select {
+				case <-time.After(time.Until(next)):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() { defer func() { <-sem }(); fire() }()
+			default:
+				rep.Errors++ // generator capacity exhausted
+			}
+		} else {
+			wg.Add(1)
+			fire() // closed loop: back to back
+		}
+	}
+	wg.Wait()
+	rep.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if rep.ElapsedMS > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / (rep.ElapsedMS / 1000)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50MS = quantileMS(latencies, 0.50)
+	rep.P90MS = quantileMS(latencies, 0.90)
+	rep.P99MS = quantileMS(latencies, 0.99)
+	if len(latencies) > 0 {
+		rep.MaxMS = float64(latencies[len(latencies)-1]) / float64(time.Millisecond)
+	}
+	return rep, nil
+}
+
+// quantileMS returns the q-quantile of sorted latencies in ms (nearest
+// rank), 0 when empty.
+func quantileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// Summary renders the report for humans.
+func (r *LoadReport) Summary() string {
+	return fmt.Sprintf("%d requests: %d ok, %d rejected, %d errors; %.1f req/s; p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms",
+		r.Requests, r.OK, r.Rejected, r.Errors, r.ThroughputRPS, r.P50MS, r.P90MS, r.P99MS, r.MaxMS)
+}
