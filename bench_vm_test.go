@@ -1,0 +1,184 @@
+// Benchmarks comparing the two execution backends (docs/VM.md): the
+// tree-walking reference interpreter vs the bytecode VM, on identical
+// workloads. The results feed BENCH_VM.json via `make bench-vm`
+// (cmd/benchvm); the quick view is
+//
+//	go test -bench=BenchmarkBackend -benchtime 10x .
+package eol
+
+import (
+	"fmt"
+	"testing"
+
+	"eol/internal/bench"
+	"eol/internal/cfg"
+	"eol/internal/core"
+	"eol/internal/ddg"
+	"eol/internal/implicit"
+	"eol/internal/interp"
+	"eol/internal/slicing"
+	"eol/internal/trace"
+	"eol/internal/verifyengine"
+	"eol/internal/vm"
+)
+
+// vmBenchBackends pairs each backend with its registry name.
+var vmBenchBackends = []struct {
+	name string
+	bk   interp.Backend
+}{
+	{"tree", interp.Tree},
+	{"vm", vm.Backend},
+}
+
+// BenchmarkBackendInterp measures raw substrate speed per backend:
+// plain and traced execution of the scaled grep analog.
+func BenchmarkBackendInterp(b *testing.B) {
+	p := prep(b, "grepsim/V4-F2")
+	in := bench.ScaledGrepInput(400)
+	for _, be := range vmBenchBackends {
+		for _, mode := range []struct {
+			name   string
+			traced bool
+		}{{"plain", false}, {"traced", true}} {
+			b.Run(fmt.Sprintf("%s/%s", be.name, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r := be.bk.Run(p.Faulty, interp.Options{Input: in, BuildTrace: mode.traced})
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBackendVerifyEngine measures the verification hot path — one
+// expand iteration's batch of switched re-executions — per backend in
+// the production configuration: a long failing trace (the scaled grep
+// analog, the paper's Table 4 regime), checkpoints captured during the
+// failing run (core.Spec's default), switched runs forked from them,
+// sequential so the backend is the only variable. Traces are
+// byte-identical across backends, so the requests computed from one
+// tree-walker run of the scaled input are valid against either
+// backend's own failing run.
+func BenchmarkBackendVerifyEngine(b *testing.B) {
+	p := prep(b, "grepsim/V4-F2")
+	in := bench.ScaledGrepInput(400)
+	run := interp.Run(p.Faulty, interp.Options{Input: in, BuildTrace: true})
+	if run.Err != nil {
+		b.Fatal(run.Err)
+	}
+	exp := interp.Run(p.Correct, interp.Options{Input: in}).OutputValues()
+	seq, _, ok := slicing.FirstWrongOutput(run.OutputValues(), exp)
+	if !ok {
+		b.Fatal("scaled input did not expose the fault")
+	}
+	wrong := *run.Trace.OutputAt(seq)
+	cx := slicing.NewContext(p.Faulty, run.Trace)
+	g := ddg.New(run.Trace)
+	slice := slicing.Dynamic(g, slicing.FailureSeeds(run.Trace, seq))
+	var reqs []implicit.Request
+	for _, u := range ddg.SortedEntries(slice) {
+		for _, pd := range cx.PotentialDeps(u) {
+			reqs = append(reqs, implicit.Request{
+				Pred: pd.Pred, Use: u, UseSym: pd.UseSym, UseElem: pd.UseElem,
+			})
+		}
+		if len(reqs) >= 96 {
+			break
+		}
+	}
+	if len(reqs) < 2 {
+		b.Skip("workload too small")
+	}
+	for _, be := range vmBenchBackends {
+		st := be.bk.NewCheckpoints(0)
+		orig := be.bk.Run(p.Faulty, interp.Options{Input: in, BuildTrace: true, Checkpoints: st})
+		if orig.Err != nil {
+			b.Fatal(orig.Err)
+		}
+		b.Run(be.name, func(b *testing.B) {
+			b.ReportMetric(float64(len(reqs)), "reqs")
+			b.ReportMetric(float64(orig.Trace.Len()), "trace_entries")
+			for i := 0; i < b.N; i++ {
+				v := &implicit.Verifier{
+					C: p.Faulty, Input: in, Orig: orig.Trace, WrongOut: wrong,
+					Backend: be.bk, Checkpoints: st,
+				}
+				if seq < len(exp) {
+					v.Vexp, v.HasVexp = exp[seq], true
+				}
+				e := verifyengine.New(v, verifyengine.Config{Workers: 1, CacheSize: -1})
+				e.VerifyBatch(reqs)
+			}
+		})
+	}
+}
+
+// BenchmarkBackendLocate measures the full demand-driven localization
+// per backend on every benchmark case.
+func BenchmarkBackendLocate(b *testing.B) {
+	for _, name := range allCaseNames() {
+		p := prep(b, name)
+		for _, be := range vmBenchBackends {
+			b.Run(fmt.Sprintf("%s/%s", name, be.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					spec := p.Spec()
+					spec.Backend = be.bk
+					spec.VerifyWorkers = 1
+					spec.VerifyCacheSize = -1
+					rep, err := core.Locate(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Located {
+						b.Fatalf("%s: not located", name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBackendCheckpointReplay measures one forked switched
+// re-execution from the nearest checkpoint per backend — the unit the
+// VM reimplements as a pc/frame-stack snapshot restore.
+func BenchmarkBackendCheckpointReplay(b *testing.B) {
+	p := prep(b, "grepsim/V4-F2")
+	in := bench.ScaledGrepInput(400)
+	for _, be := range vmBenchBackends {
+		st := be.bk.NewCheckpoints(0)
+		run := be.bk.Run(p.Faulty, interp.Options{Input: in, BuildTrace: true, Checkpoints: st})
+		if run.Err != nil {
+			b.Fatal(run.Err)
+		}
+		tr := run.Trace
+		budget := 10*tr.Len() + 1000
+		var preds []trace.Instance
+		for i := tr.Len() * 3 / 4; i < tr.Len() && len(preds) < 8; i++ {
+			if e := tr.At(i); e.Branch != cfg.None {
+				preds = append(preds, e.Inst)
+			}
+		}
+		if len(preds) == 0 {
+			b.Fatal("no late predicates in the scaled trace")
+		}
+		b.Run(be.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pred := preds[i%len(preds)]
+				r := be.bk.RunSwitchedFrom(st, tr, p.Faulty, interp.Options{
+					Input:      in,
+					Switch:     &interp.SwitchPlan{Stmt: pred.Stmt, Occ: pred.Occ},
+					StepBudget: budget,
+				})
+				if r == nil {
+					b.Fatal("no checkpoint before a late predicate")
+				}
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		})
+	}
+}

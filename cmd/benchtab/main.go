@@ -53,6 +53,7 @@ func main() {
 		Workers:     engFlags.Workers,
 		Cache:       engFlags.Cache,
 		Checkpoints: engFlags.Checkpoints,
+		Backend:     engFlags.Backend,
 		Observer:    observer,
 		Ctx:         ctx,
 	}

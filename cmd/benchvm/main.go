@@ -1,0 +1,137 @@
+// Command benchvm turns `go test -bench BenchmarkBackend...` output into
+// BENCH_VM.json, the recorded tree-vs-VM benchmark trajectory point
+// (docs/VM.md). It reads the benchmark lines from stdin, groups the
+// tree/vm sub-benchmarks of each workload, and emits one JSON document
+// with per-backend ns/op plus the tree/vm speedup per workload:
+//
+//	go test -run NONE -bench 'BenchmarkBackend...' . | benchvm -o BENCH_VM.json
+//
+// Invoked by `make bench-vm`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name    string             `json:"name"`    // workload, backend element removed
+	Backend string             `json:"backend"` // "tree" or "vm"
+	NsPerOp float64            `json:"ns_per_op"`
+	Iters   int                `json:"iters"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Ratio is the tree/vm speedup of one workload.
+type Ratio struct {
+	Name    string  `json:"name"`
+	TreeNs  float64 `json:"tree_ns_per_op"`
+	VMNs    float64 `json:"vm_ns_per_op"`
+	Speedup float64 `json:"speedup"` // tree_ns / vm_ns
+}
+
+// Report is the BENCH_VM.json document.
+type Report struct {
+	Note       string  `json:"note"`
+	Benchmarks []Entry `json:"benchmarks"`
+	Ratios     []Ratio `json:"ratios"`
+}
+
+var lineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op(.*)$`)
+
+// splitBackend removes the path element naming the backend, returning
+// the workload key and the backend ("" if none).
+func splitBackend(name string) (string, string) {
+	parts := strings.Split(strings.TrimPrefix(name, "Benchmark"), "/")
+	for i, p := range parts {
+		if p == "tree" || p == "vm" {
+			return strings.Join(append(parts[:i:i], parts[i+1:]...), "/"), p
+		}
+	}
+	return strings.Join(parts, "/"), ""
+}
+
+func main() {
+	out := flag.String("o", "BENCH_VM.json", "output path")
+	flag.Parse()
+
+	var entries []Entry
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the log
+		m := lineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, backend := splitBackend(m[1])
+		iters, _ := strconv.Atoi(m[2])
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		e := Entry{Name: name, Backend: backend, NsPerOp: ns, Iters: iters}
+		rest := strings.Fields(m[4])
+		for i := 0; i+1 < len(rest); i += 2 {
+			if v, err := strconv.ParseFloat(rest[i], 64); err == nil {
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[rest[i+1]] = v
+			}
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchvm: read:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchvm: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	byName := map[string]map[string]Entry{}
+	for _, e := range entries {
+		if e.Backend == "" {
+			continue
+		}
+		if byName[e.Name] == nil {
+			byName[e.Name] = map[string]Entry{}
+		}
+		byName[e.Name][e.Backend] = e
+	}
+	var ratios []Ratio
+	for name, m := range byName {
+		t, okT := m["tree"]
+		v, okV := m["vm"]
+		if okT && okV && v.NsPerOp > 0 {
+			ratios = append(ratios, Ratio{
+				Name: name, TreeNs: t.NsPerOp, VMNs: v.NsPerOp,
+				Speedup: t.NsPerOp / v.NsPerOp,
+			})
+		}
+	}
+	sort.Slice(ratios, func(i, j int) bool { return ratios[i].Name < ratios[j].Name })
+
+	rep := Report{
+		Note:       "tree vs VM backend, `make bench-vm`; speedup = tree_ns / vm_ns",
+		Benchmarks: entries,
+		Ratios:     ratios,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchvm: encode:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchvm: write:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchvm: wrote %s (%d benchmarks, %d ratios)\n", *out, len(entries), len(ratios))
+}

@@ -155,6 +155,61 @@ func TestSlicer(t *testing.T) {
 	}
 }
 
+// TestDisasmGolden pins the -disasm bytecode listing (pc, opcode,
+// operands, source-statement annotations) against the golden file, via
+// both commands that expose the flag.
+func TestDisasmGolden(t *testing.T) {
+	golden, err := os.ReadFile("../testdata/fig1_faulty.disasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runTool(t, "slicer", "-disasm", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if out != string(golden) {
+		t.Errorf("slicer -disasm diverges from golden file:\n got:\n%s\nwant:\n%s", out, golden)
+	}
+
+	cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, "eolshell"), "./cmd/eolshell")
+	cmd.Dir = repoRoot
+	if bout, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build eolshell: %v\n%s", err, bout)
+	}
+	out, err = runTool(t, "eolshell", "-disasm", "testdata/fig1_faulty.mc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if out != string(golden) {
+		t.Errorf("eolshell -disasm diverges from golden file:\n got:\n%s\nwant:\n%s", out, golden)
+	}
+}
+
+// TestSlicerBackends runs the same slicing twice, once per execution
+// backend, and requires byte-identical output — the CLI-level
+// differential check.
+func TestSlicerBackends(t *testing.T) {
+	args := func(b string) []string {
+		return []string{"-backend", b,
+			"-correct", "testdata/fig1_fixed.mc", "-input", "1", "testdata/fig1_faulty.mc"}
+	}
+	vmOut, err := runTool(t, "slicer", args("vm")...)
+	if err != nil {
+		t.Fatalf("vm: %v\n%s", err, vmOut)
+	}
+	treeOut, err := runTool(t, "slicer", args("tree")...)
+	if err != nil {
+		t.Fatalf("tree: %v\n%s", err, treeOut)
+	}
+	if vmOut != treeOut {
+		t.Errorf("backends diverge:\nvm:\n%s\ntree:\n%s", vmOut, treeOut)
+	}
+	if out, err := runTool(t, "slicer", "-backend", "quantum",
+		"-correct", "testdata/fig1_fixed.mc", "-input", "1", "testdata/fig1_faulty.mc"); err == nil {
+		t.Errorf("unknown backend accepted:\n%s", out)
+	}
+}
+
 // TestSlicerEngineStats checks that -engine reports both the static
 // SPDG shape (nodes, per-kind edges, cones) and the per-slice dynamic
 // engine line.

@@ -76,6 +76,7 @@ func main() {
 		NoSharedCache: *privateFlag,
 		Checkpoints:   engFlags.Checkpoints,
 		NoStaticReach: engFlags.NoStaticReach,
+		Backend:       engFlags.Backend,
 		Observer:      observer,
 	})
 	if cerr := closeObs(); cerr != nil {

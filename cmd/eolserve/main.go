@@ -72,6 +72,7 @@ func main() {
 			CacheSize:     engFlags.Cache,
 			Checkpoints:   engFlags.Checkpoints,
 			NoStaticReach: engFlags.NoStaticReach,
+			Backend:       engFlags.Backend,
 		},
 		MaxDeadline: *maxDeadlineFlag,
 		Sessions:    *sessionsFlag,

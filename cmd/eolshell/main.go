@@ -23,7 +23,10 @@
 //
 // The [e]xpand verifications go through the verification engine, so the
 // unified -workers / -cache flags size its pool and switched-run cache,
-// and -trace / -progress observe the session like any eoloc run.
+// and -trace / -progress observe the session like any eoloc run. The
+// -backend flag selects the execution engine (vm or tree, docs/VM.md),
+// and -disasm prints the faulty program's compiled bytecode with
+// source-statement annotations instead of starting a session.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"os"
 	"strings"
 
+	"eol/internal/backend"
 	"eol/internal/cliutil"
 	"eol/internal/confidence"
 	"eol/internal/ddg"
@@ -43,6 +47,7 @@ import (
 	"eol/internal/slicing"
 	"eol/internal/trace"
 	"eol/internal/verifyengine"
+	"eol/internal/vm"
 )
 
 func main() {
@@ -50,16 +55,13 @@ func main() {
 	textFlag := flag.String("text", "", "input as the bytes of a string")
 	correctFlag := flag.String("correct", "", "path to the correct program version")
 	expectedFlag := flag.String("expected", "", "expected output values (overrides -correct)")
+	disasmFlag := flag.Bool("disasm", false, "print the compiled bytecode listing and exit")
 	engFlags := cliutil.RegisterEngineFlags(flag.CommandLine)
 	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		cliutil.Usagef("usage: eolshell [-correct correct.mc | -expected \"8,8\"] -input ... faulty.mc")
-	}
-	input, err := cliutil.Input(*inputFlag, *textFlag)
-	if err != nil {
-		cliutil.Usagef("eolshell: %v", err)
 	}
 	src, err := cliutil.LoadSource(flag.Arg(0))
 	if err != nil {
@@ -68,6 +70,21 @@ func main() {
 	faulty, err := interp.Compile(src)
 	if err != nil {
 		cliutil.Fatalf("eolshell: %v", err)
+	}
+
+	if *disasmFlag {
+		fmt.Print(vm.Disassemble(faulty))
+		return
+	}
+
+	input, err := cliutil.Input(*inputFlag, *textFlag)
+	if err != nil {
+		cliutil.Usagef("eolshell: %v", err)
+	}
+
+	bk, err := backend.Lookup(engFlags.Backend)
+	if err != nil {
+		cliutil.Usagef("eolshell: %v", err)
 	}
 
 	var expected []int64
@@ -86,7 +103,7 @@ func main() {
 		if err != nil {
 			cliutil.Fatalf("eolshell: %v", err)
 		}
-		r := interp.Run(correct, interp.Options{Input: input})
+		r := bk.Run(correct, interp.Options{Input: input})
 		if r.Err != nil {
 			cliutil.Fatalf("eolshell: correct run: %v", r.Err)
 		}
@@ -99,7 +116,7 @@ func main() {
 	if err != nil {
 		cliutil.Fatalf("eolshell: %v", err)
 	}
-	sh, err := newShell(faulty, input, expected, *engFlags, obs.NewRecorder(observer))
+	sh, err := newShell(faulty, bk, input, expected, *engFlags, obs.NewRecorder(observer))
 	if err != nil {
 		cliutil.Fatalf("eolshell: %v", err)
 	}
@@ -123,9 +140,9 @@ type shell struct {
 	expanded map[int]bool
 }
 
-func newShell(c *interp.Compiled, input, expected []int64, ef cliutil.EngineFlags, rec *obs.Recorder) (*shell, error) {
+func newShell(c *interp.Compiled, bk interp.Backend, input, expected []int64, ef cliutil.EngineFlags, rec *obs.Recorder) (*shell, error) {
 	rec.Begin("failing_run")
-	run := interp.Run(c, interp.Options{Input: input, BuildTrace: true, Rec: rec})
+	run := bk.Run(c, interp.Options{Input: input, BuildTrace: true, Rec: rec})
 	rec.End("failing_run", int64(run.Steps))
 	if run.Err != nil {
 		return nil, fmt.Errorf("failing run aborted: %w", run.Err)
@@ -147,7 +164,7 @@ func newShell(c *interp.Compiled, input, expected []int64, ef cliutil.EngineFlag
 	an := confidence.New(c, g, nil, correct, wrong)
 	an.Incremental = true
 	an.Compute()
-	ver := &implicit.Verifier{C: c, Input: input, Orig: tr, WrongOut: wrong, Rec: rec}
+	ver := &implicit.Verifier{C: c, Input: input, Orig: tr, WrongOut: wrong, Backend: bk, Rec: rec}
 	if seq < len(expected) {
 		ver.Vexp, ver.HasVexp = expected[seq], true
 	}

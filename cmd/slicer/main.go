@@ -8,6 +8,9 @@
 //
 //	-input "1,2,3"    integer input stream (failing input)
 //	-text "abc"       input as the bytes of a string
+//	-backend B        execution backend: vm (default) or tree
+//	-disasm           print the faulty program's compiled bytecode with
+//	                  source-statement annotations and exit
 //	-slices ds,rs,ps  which slices to print (default all)
 //	-instances        list statement instances, not just statistics
 //	-engine           print SPDG and dependence-graph engine statistics
@@ -26,6 +29,7 @@ import (
 	"os"
 	"strings"
 
+	"eol/internal/backend"
 	"eol/internal/cliutil"
 	"eol/internal/confidence"
 	"eol/internal/ddg"
@@ -35,6 +39,7 @@ import (
 	"eol/internal/slicing"
 	"eol/internal/staticdep"
 	"eol/internal/trace"
+	"eol/internal/vm"
 )
 
 func main() {
@@ -45,8 +50,19 @@ func main() {
 	instFlag := flag.Bool("instances", false, "list statement instances")
 	engineFlag := flag.Bool("engine", false, "print dependence-graph engine statistics per slice")
 	dotFlag := flag.String("dot", "", "write the RS dependence graph as DOT to this file")
+	disasmFlag := flag.Bool("disasm", false, "print the compiled bytecode listing and exit")
+	var backendFlag string
+	cliutil.RegisterBackendFlag(flag.CommandLine, &backendFlag)
 	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *disasmFlag {
+		if flag.NArg() != 1 {
+			cliutil.Usagef("usage: slicer -disasm faulty.mc")
+		}
+		fmt.Print(vm.Disassemble(mustCompile(flag.Arg(0))))
+		return
+	}
 
 	if flag.NArg() != 1 || *correctFlag == "" {
 		cliutil.Usagef("usage: slicer -correct correct.mc [flags] faulty.mc (see -h)")
@@ -59,18 +75,23 @@ func main() {
 	faulty := mustCompile(flag.Arg(0))
 	correct := mustCompile(*correctFlag)
 
+	bk, err := backend.Lookup(backendFlag)
+	if err != nil {
+		cliutil.Usagef("slicer: %v", err)
+	}
+
 	observer, closeObs, err := obsFlags.Observer()
 	if err != nil {
 		cliutil.Fatalf("slicer: %v", err)
 	}
 	rec := obs.NewRecorder(observer)
 
-	expRun := interp.Run(correct, interp.Options{Input: input, Rec: rec})
+	expRun := bk.Run(correct, interp.Options{Input: input, Rec: rec})
 	if expRun.Err != nil {
 		cliutil.Fatalf("slicer: correct run: %v", expRun.Err)
 	}
 	rec.Begin("failing_run")
-	run := interp.Run(faulty, interp.Options{Input: input, BuildTrace: true, Rec: rec})
+	run := bk.Run(faulty, interp.Options{Input: input, BuildTrace: true, Rec: rec})
 	rec.End("failing_run", int64(run.Steps))
 	if run.Err != nil {
 		cliutil.Fatalf("slicer: faulty run: %v", run.Err)

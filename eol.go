@@ -43,6 +43,7 @@ import (
 	"io"
 
 	"eol/internal/align"
+	"eol/internal/backend"
 	"eol/internal/confidence"
 	"eol/internal/core"
 	"eol/internal/corpus"
@@ -135,7 +136,7 @@ func (p *Program) Run(input []int64) (*Execution, error) {
 // with an error matching ErrCanceled or ErrDeadline when the context
 // dies mid-execution.
 func (p *Program) RunContext(ctx context.Context, input []int64) (*Execution, error) {
-	res := interp.Run(p.c, interp.Options{Input: input, BuildTrace: true, Ctx: ctx})
+	res := backend.Default().Run(p.c, interp.Options{Input: input, BuildTrace: true, Ctx: ctx})
 	if res.Err != nil {
 		return nil, res.Err
 	}
@@ -149,7 +150,7 @@ func (p *Program) RunPlain(input []int64) (*Execution, error) {
 
 // RunPlainContext is RunPlain bounded by ctx (nil = background).
 func (p *Program) RunPlainContext(ctx context.Context, input []int64) (*Execution, error) {
-	res := interp.Run(p.c, interp.Options{Input: input, Ctx: ctx})
+	res := backend.Default().Run(p.c, interp.Options{Input: input, Ctx: ctx})
 	if res.Err != nil {
 		return nil, res.Err
 	}
@@ -164,7 +165,7 @@ func (p *Program) RunSwitched(input []int64, pred Instance) (*Execution, error) 
 
 // RunSwitchedContext is RunSwitched bounded by ctx (nil = background).
 func (p *Program) RunSwitchedContext(ctx context.Context, input []int64, pred Instance) (*Execution, error) {
-	res := interp.Run(p.c, interp.Options{
+	res := backend.Default().Run(p.c, interp.Options{
 		Input: input, BuildTrace: true, Ctx: ctx,
 		Switch: &interp.SwitchPlan{Stmt: pred.Stmt, Occ: pred.Occ},
 	})
@@ -283,6 +284,13 @@ type Settings struct {
 	// either way; only Stats.Repropagated/DirtyFraction and wall-clock
 	// time differ.
 	NoIncremental bool
+	// Backend names the execution backend for the failing run and every
+	// re-execution: "vm" (the bytecode VM, the default), "tree" (the
+	// tree-walking reference interpreter), or "" for the default.
+	// Backends are byte-identical — same diagnosis, counters and journal
+	// — so this only changes wall-clock time; see WithBackend and
+	// docs/VM.md.
+	Backend string
 	// Observer receives the run's deterministic event stream (see
 	// WithObserver and docs/OBSERVABILITY.md).
 	Observer Observer
@@ -296,7 +304,7 @@ type Settings struct {
 // the outputs match, and an error for truncated-output failures (the
 // technique slices from a wrong value).
 func NewSession(p *Program, input, expected []int64) (*Session, error) {
-	run := interp.Run(p.c, interp.Options{Input: input, BuildTrace: true})
+	run := backend.Default().Run(p.c, interp.Options{Input: input, BuildTrace: true})
 	if run.Err != nil {
 		return nil, fmt.Errorf("eol: failing run aborted: %w", run.Err)
 	}
@@ -330,7 +338,7 @@ func (s *Session) WrongOutput() (seq int, got, want int64, at Instance) {
 // AddProfileRun executes the program on a passing input and records the
 // value profile used by confidence analysis.
 func (s *Session) AddProfileRun(input []int64) error {
-	r := interp.Run(s.p.c, interp.Options{Input: input, BuildTrace: true})
+	r := backend.Default().Run(s.p.c, interp.Options{Input: input, BuildTrace: true})
 	if r.Err != nil {
 		return r.Err
 	}
@@ -569,6 +577,15 @@ func WithoutStaticReach() LocateOption {
 	return func(s *Settings) { s.NoStaticReach = true }
 }
 
+// WithBackend selects the execution backend by name: "vm" (bytecode
+// VM, the default) or "tree" (the tree-walking reference interpreter).
+// Backends produce byte-identical diagnoses, counters and journals —
+// the choice only changes wall-clock time. Unknown names surface as an
+// error from Locate. See docs/VM.md.
+func WithBackend(name string) LocateOption {
+	return func(s *Settings) { s.Backend = name }
+}
+
 // WithObserver attaches an observer to the localization run: it receives
 // the deterministic event stream — phase spans, counter deltas, final
 // stats gauges. See NewJournal, NewProgress and docs/OBSERVABILITY.md.
@@ -662,10 +679,15 @@ func (s *Session) LocateContext(ctx context.Context, opts ...LocateOption) (*Dia
 	}
 	st := &s.settings
 
+	bk, err := backend.Lookup(st.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("eol: %w", err)
+	}
+
 	var orc core.Oracle
 	switch {
 	case st.Correct != nil:
-		res := interp.Run(st.Correct.c, interp.Options{Input: s.input, BuildTrace: true, Ctx: ctx})
+		res := bk.Run(st.Correct.c, interp.Options{Input: s.input, BuildTrace: true, Ctx: ctx})
 		if res.Err == nil && res.Trace != nil {
 			orc = &oracle.StateOracle{Correct: res.Trace}
 		}
@@ -682,6 +704,7 @@ func (s *Session) LocateContext(ctx context.Context, opts ...LocateOption) (*Dia
 
 	spec := &core.Spec{
 		Program:         s.p.c,
+		Backend:         bk,
 		Input:           s.input,
 		Expected:        s.expected,
 		RootCause:       st.RootCause,

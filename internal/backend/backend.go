@@ -1,0 +1,64 @@
+// Package backend is the registry of MiniC execution backends: the
+// single place that knows every interp.Backend implementation by name.
+// It exists so the layers that select a backend from configuration —
+// the eol facade, core.Spec, the CLI flags, corpus manifests — depend
+// on one tiny package instead of importing internal/vm directly, and so
+// the default lives in exactly one place.
+//
+// The bytecode VM is the default: it produces byte-identical results to
+// the tree-walker (the contract every differential lane pins down) at a
+// fraction of the per-step cost. The tree-walker remains always
+// available as the reference oracle under the name "tree".
+package backend
+
+import (
+	"fmt"
+	"sort"
+
+	"eol/internal/interp"
+	"eol/internal/vm"
+)
+
+// DefaultName is the name of the default execution backend.
+const DefaultName = "vm"
+
+var registry = map[string]interp.Backend{
+	"tree": interp.Tree,
+	"vm":   vm.Backend,
+}
+
+// Default returns the default execution backend (the bytecode VM).
+func Default() interp.Backend { return vm.Backend }
+
+// Lookup resolves a backend by name. The empty string selects the
+// default; unknown names return an error listing the valid ones.
+func Lookup(name string) (interp.Backend, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	if b, ok := registry[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("unknown execution backend %q (valid: %s)", name, names())
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	ns := make([]string, 0, len(registry))
+	for n := range registry {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+func names() string {
+	s := ""
+	for i, n := range Names() {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}

@@ -35,6 +35,10 @@ type EngineFlags struct {
 	// NoStaticReach disables the pre-execution static reach filter over
 	// the interprocedural dependence graph (docs/STATICDEP.md).
 	NoStaticReach bool
+	// Backend names the execution backend ("vm", the default, or
+	// "tree"). Backends are byte-identical — the flag only changes
+	// wall-clock time (docs/VM.md).
+	Backend string
 }
 
 // deprecatedInt is an int flag.Value bound to the canonical flag's
@@ -81,8 +85,17 @@ func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
 		"failing-run checkpoint bound for switched replay (0 = default, negative = disabled)")
 	fs.BoolVar(&ef.NoStaticReach, "no-static-reach", false,
 		"disable the pre-execution static reach filter")
+	RegisterBackendFlag(fs, &ef.Backend)
 	hideAliases(fs)
 	return ef
+}
+
+// RegisterBackendFlag registers -backend on fs, bound to target. Split
+// out of RegisterEngineFlags for commands that execute programs without
+// running localizations (cmd/slicer's slicing modes, cmd/minic).
+func RegisterBackendFlag(fs *flag.FlagSet, target *string) {
+	fs.StringVar(target, "backend", "vm",
+		"execution `backend`: vm (bytecode) or tree (reference interpreter)")
 }
 
 // ObsFlags holds the observability knobs shared by every command:

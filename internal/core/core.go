@@ -53,6 +53,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"eol/internal/backend"
 	"eol/internal/check"
 	"eol/internal/confidence"
 	"eol/internal/ddg"
@@ -106,6 +107,12 @@ func (neverBenign) IsBenign(*trace.Trace, int) bool { return false }
 type Spec struct {
 	// Program is the compiled faulty program.
 	Program *interp.Compiled
+	// Backend selects the execution engine for the failing run and every
+	// switched/perturbed re-execution (nil = backend.Default(), the
+	// bytecode VM). Backends are byte-identical — same Report counters,
+	// VerifyLog, obs journal — so this only changes wall-clock time; the
+	// tree-walker (interp.Tree) remains the differential oracle.
+	Backend interp.Backend
 	// Input is the failing input.
 	Input []int64
 	// Expected is the correct output sequence (from the test oracle).
@@ -287,15 +294,21 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 	rec := obs.NewRecorder(spec.Observer)
 	rec.Begin("locate")
 
+	bk := spec.Backend
+	if bk == nil {
+		bk = backend.Default()
+	}
+
 	// The failing run ("Graph" construction in Table 4 terms). It also
 	// captures the checkpoint store that later switched re-executions
-	// fork from (unless disabled).
-	var cks *interp.CheckpointStore
+	// fork from (unless disabled). The store is the backend's own
+	// representation, so forks restore native execution state.
+	var cks interp.Checkpoints
 	if spec.Checkpoints >= 0 {
-		cks = interp.NewCheckpointStore(spec.Checkpoints)
+		cks = bk.NewCheckpoints(spec.Checkpoints)
 	}
 	rec.Begin("failing_run")
-	run := interp.Run(spec.Program, interp.Options{Input: spec.Input, BuildTrace: true, Rec: rec, Ctx: ctx, Checkpoints: cks})
+	run := bk.Run(spec.Program, interp.Options{Input: spec.Input, BuildTrace: true, Rec: rec, Ctx: ctx, Checkpoints: cks})
 	rec.End("failing_run", int64(run.Steps))
 	if run.Err != nil {
 		rec.End("locate", 0)
@@ -338,7 +351,7 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 		C: spec.Program, Input: spec.Input, Orig: tr,
 		WrongOut: wrong, Vexp: vexp, HasVexp: hasVexp,
 		PathMode: spec.PathMode, BudgetFactor: spec.BudgetFactor,
-		Rec: rec, Ctx: ctx, Checkpoints: cks,
+		Rec: rec, Ctx: ctx, Backend: bk, Checkpoints: cks,
 	}
 
 	engCfg := verifyengine.Config{

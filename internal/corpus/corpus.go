@@ -37,6 +37,7 @@ import (
 
 	"eol/internal/confidence"
 	"eol/internal/core"
+	"eol/internal/backend"
 	"eol/internal/interp"
 	"eol/internal/lang/ast"
 	"eol/internal/obs"
@@ -75,6 +76,12 @@ type Options struct {
 	// (docs/STATICDEP.md). Per-subject results are identical either way;
 	// only the run-count split in Stats changes.
 	NoStaticReach bool
+	// Backend names the execution backend for subjects that do not pick
+	// their own ("" = library default). Backends are byte-identical, so
+	// the corpus JSON and journal never depend on — or record — the
+	// choice: that blindness is what lets the vm-smoke CI lane compare
+	// tree and vm outputs byte for byte.
+	Backend string
 	// Shared, if non-nil, supplies externally owned warm state — the
 	// compile cache, the switched-run cache, and the SPDG cache — that
 	// outlives this Run call. Resident drivers (internal/serve) keep one
@@ -305,6 +312,15 @@ func runSubject(ctx context.Context, s *Subject, shard int, shared *verifyengine
 		return fail(fmt.Errorf("compile: %w", err))
 	}
 
+	bkName := s.Backend
+	if bkName == "" {
+		bkName = opts.Backend
+	}
+	bk, err := backend.Lookup(bkName)
+	if err != nil {
+		return fail(err)
+	}
+
 	sctx := ctx
 	if d := s.Deadline.D(); d == 0 && opts.Deadline > 0 {
 		s2 := *s
@@ -319,6 +335,7 @@ func runSubject(ctx context.Context, s *Subject, shard int, shared *verifyengine
 
 	spec := &core.Spec{
 		Program:         faulty,
+		Backend:         bk,
 		Input:           s.Input,
 		Expected:        s.Expected,
 		MaxIterations:   s.MaxIterations,
@@ -339,7 +356,7 @@ func runSubject(ctx context.Context, s *Subject, shard int, shared *verifyengine
 		if err != nil {
 			return fail(fmt.Errorf("compile correct: %w", err))
 		}
-		corRun := interp.Run(correct, interp.Options{Input: s.Input, BuildTrace: true, Ctx: sctx})
+		corRun := bk.Run(correct, interp.Options{Input: s.Input, BuildTrace: true, Ctx: sctx})
 		if corRun.Err != nil {
 			return fail(fmt.Errorf("correct run: %w", corRun.Err))
 		}

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"time"
+
+	"eol/internal/backend"
 )
 
 // Duration is a time.Duration that unmarshals from either a JSON string
@@ -88,6 +90,11 @@ type Subject struct {
 	// boundaries for globals — the mode where the static reach filter
 	// has pruning power (see docs/STATICDEP.md).
 	CrossFunctionPD bool `json:"cross_function_pd,omitempty"`
+	// Backend names the execution backend for this subject ("vm" or
+	// "tree"; "" = Defaults.Backend, then Options.Backend, then the
+	// library default). Backends are byte-identical, so results and the
+	// journal do not depend on — and never record — the choice.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Defaults are manifest-wide subject defaults, folded into each subject
@@ -97,6 +104,7 @@ type Defaults struct {
 	MaxIterations   int      `json:"max_iterations,omitempty"`
 	PathMode        bool     `json:"path_mode,omitempty"`
 	CrossFunctionPD bool     `json:"cross_function_pd,omitempty"`
+	Backend         string   `json:"backend,omitempty"`
 }
 
 // Manifest is the on-disk corpus description: defaults plus subjects.
@@ -178,6 +186,9 @@ func (m *Manifest) Fold() {
 		if m.Defaults.CrossFunctionPD {
 			s.CrossFunctionPD = true
 		}
+		if s.Backend == "" {
+			s.Backend = m.Defaults.Backend
+		}
 	}
 }
 
@@ -200,6 +211,9 @@ func (m *Manifest) Validate() error {
 			return fmt.Errorf("subject %d: duplicate name %q", i, s.Name)
 		}
 		seen[s.Name] = true
+		if _, err := backend.Lookup(s.Backend); err != nil {
+			return fmt.Errorf("subject %d (%s): %w", i, s.Name, err)
+		}
 	}
 	return nil
 }

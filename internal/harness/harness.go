@@ -397,6 +397,10 @@ type Options struct {
 	// checkpointed switched replay). Results are mode-independent; only
 	// the timings move.
 	Checkpoints int
+	// Backend names the execution backend for the verify table's
+	// localizations ("" = library default). Results are
+	// backend-independent; only the timings move.
+	Backend string
 	// Observer, if non-nil, observes the Table 3 localizations and the
 	// verify table's warm-up round. Timed rounds always run unobserved
 	// so observation never perturbs the measurements.

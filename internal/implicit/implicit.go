@@ -105,13 +105,22 @@ type Verifier struct {
 	// invoke the interpreter directly. Copied by Clone.
 	Ctx context.Context
 
+	// Backend selects the execution engine for the verifier's switched
+	// re-executions (nil = interp.Tree). It must be the backend that
+	// produced Orig and Checkpoints: backends are byte-identical, so any
+	// mix yields the same verdicts, but a foreign checkpoint store cannot
+	// be forked and every run would pay full-replay cost. Copied by
+	// Clone.
+	Backend interp.Backend
+
 	// Checkpoints, if non-nil, holds execution snapshots captured during
-	// the failing run (interp.CheckpointStore). Inline switched runs then
-	// fork from the nearest checkpoint at or before the switched instance
-	// and re-execute only the suffix — byte-identical results, a fraction
-	// of the steps (docs/CHECKPOINT.md). Read-only after the failing run,
-	// so it is shared by Clone and safe across workers.
-	Checkpoints *interp.CheckpointStore
+	// the failing run by Backend (tree: interp.CheckpointStore; vm:
+	// vm.Store). Inline switched runs then fork from the nearest
+	// checkpoint at or before the switched instance and re-execute only
+	// the suffix — byte-identical results, a fraction of the steps
+	// (docs/CHECKPOINT.md). Read-only after the failing run, so it is
+	// shared by Clone and safe across workers.
+	Checkpoints interp.Checkpoints
 
 	// Rec, if non-nil, receives a "verdict" mark for every fresh
 	// verification recorded. It is only consulted from the sequential
@@ -253,8 +262,16 @@ func (v *Verifier) Clone() *Verifier {
 		C: v.C, Input: v.Input, Orig: v.Orig,
 		WrongOut: v.WrongOut, Vexp: v.Vexp, HasVexp: v.HasVexp,
 		BudgetFactor: v.BudgetFactor, PathMode: v.PathMode, Runner: v.Runner,
-		Ctx: v.Ctx, Checkpoints: v.Checkpoints,
+		Ctx: v.Ctx, Backend: v.Backend, Checkpoints: v.Checkpoints,
 	}
+}
+
+// backend resolves the verifier's execution backend (nil = interp.Tree).
+func (v *Verifier) backend() interp.Backend {
+	if v.Backend != nil {
+		return v.Backend
+	}
+	return interp.Tree
 }
 
 // RunSwitched performs the switched re-execution underlying one
@@ -279,25 +296,32 @@ func RunSwitchedContext(ctx context.Context, c *interp.Compiled, input []int64, 
 }
 
 // RunSwitchedFrom is the checkpoint-accelerated form of
-// RunSwitchedContext: when cks holds a checkpoint at or before pred's
-// instance in orig (the failing run's trace), the switched run forks
-// from it and re-executes only the suffix. The result — trace, outputs,
-// verdict-relevant state, step count — is byte-identical to a full
-// switched run; only Result.ResumedAt reveals the shortcut. Falls back
-// to a full run when no checkpoint qualifies (nil store, unknown
+// RunSwitchedContext on an explicit backend b (nil = interp.Tree): when
+// cks holds a checkpoint of b at or before pred's instance in orig (the
+// failing run's trace), the switched run forks from it and re-executes
+// only the suffix. The result — trace, outputs, verdict-relevant state,
+// step count — is byte-identical to a full switched run; only
+// Result.ResumedAt reveals the shortcut. Falls back to a full run under
+// b when no checkpoint qualifies (nil or foreign store, unknown
 // instance, no checkpoint before it, or a budget already spent at the
 // checkpoint).
-func RunSwitchedFrom(ctx context.Context, c *interp.Compiled, input []int64, cks *interp.CheckpointStore, orig *trace.Trace, pred trace.Instance, budget int) *interp.Result {
+func RunSwitchedFrom(ctx context.Context, b interp.Backend, c *interp.Compiled, input []int64, cks interp.Checkpoints, orig *trace.Trace, pred trace.Instance, budget int) *interp.Result {
+	if b == nil {
+		b = interp.Tree
+	}
 	opts := interp.Options{
 		Input:      input,
 		Switch:     &interp.SwitchPlan{Stmt: pred.Stmt, Occ: pred.Occ},
 		StepBudget: budget,
 		Ctx:        ctx,
 	}
-	if r := interp.RunSwitchedFromStore(cks, orig, c, opts); r != nil {
-		return r
+	if cks != nil {
+		if r := b.RunSwitchedFrom(cks, orig, c, opts); r != nil {
+			return r
+		}
 	}
-	return RunSwitchedContext(ctx, c, input, pred, budget)
+	opts.BuildTrace = true
+	return b.Run(c, opts)
 }
 
 // switchedRun obtains the switched run through the Runner seam.
@@ -305,7 +329,7 @@ func (v *Verifier) switchedRun(pred trace.Instance, budget int) *interp.Result {
 	if v.Runner != nil {
 		return v.Runner.SwitchedRun(pred, budget)
 	}
-	return RunSwitchedFrom(v.Ctx, v.C, v.Input, v.Checkpoints, v.Orig, pred, budget)
+	return RunSwitchedFrom(v.Ctx, v.backend(), v.C, v.Input, v.Checkpoints, v.Orig, pred, budget)
 }
 
 // VerifyDetailed is Verify without memoization, returning evidence.

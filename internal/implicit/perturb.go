@@ -64,7 +64,7 @@ func (v *Verifier) PerturbVerify(req PerturbRequest) *PerturbResult {
 		}
 		res.Reexecutions++
 		v.Verifications++
-		run := interp.Run(v.C, interp.Options{
+		run := v.backend().Run(v.C, interp.Options{
 			Input:      v.Input,
 			BuildTrace: true,
 			Perturb: &interp.PerturbPlan{

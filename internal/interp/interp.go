@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"eol/internal/cfg"
 	"eol/internal/lang/ast"
@@ -61,6 +62,24 @@ type Compiled struct {
 	Prog *ast.Program
 	Info *sem.Info
 	CFG  *cfg.Program
+
+	// artifacts caches per-backend compilation products (the VM's
+	// bytecode) keyed by an opaque backend key, so a program compiled
+	// once is lowered once no matter how many runs or goroutines share
+	// the *Compiled. See Artifact.
+	artifacts sync.Map
+}
+
+// Artifact returns the backend compilation artifact cached under key,
+// building it with build on first use. Concurrent first calls may each
+// run build, but all callers observe the same stored value (builds must
+// be deterministic and side-effect free, which bytecode lowering is).
+func (c *Compiled) Artifact(key any, build func() any) any {
+	if v, ok := c.artifacts.Load(key); ok {
+		return v
+	}
+	v, _ := c.artifacts.LoadOrStore(key, build())
+	return v
 }
 
 // Compile parses, checks and builds CFGs for src.
@@ -145,10 +164,13 @@ type Options struct {
 	// costs nothing measurable and never changes results.
 	Ctx context.Context
 	// Checkpoints, if non-nil, captures execution snapshots into the
-	// store during the run, for later RunFrom forks. Requires BuildTrace
-	// (checkpoints index into the trace); ignored otherwise. A store is
-	// bound to the single run that fills it.
-	Checkpoints *CheckpointStore
+	// store during the run, for later forked suffix runs. Requires
+	// BuildTrace (checkpoints index into the trace); ignored otherwise.
+	// A store is bound to the single run that fills it, and to the
+	// backend that created it: each backend snapshots its own execution
+	// representation and ignores a foreign store (the run still
+	// completes, it just captures nothing).
+	Checkpoints Checkpoints
 }
 
 // Default limits.
@@ -260,32 +282,34 @@ func Run(c *Compiled, opts Options) *Result {
 		input:     opts.Input,
 		plan:      opts.Switch,
 		perturb:   opts.Perturb,
-		budget:    opts.StepBudget,
 		maxFrames: opts.MaxFrames,
-		ctx:       opts.Ctx,
 		occ:       make([]int, c.Info.NumStmts()+1),
 		res:       &Result{},
 	}
-	if ip.ctx != nil {
-		if err := ip.ctx.Err(); err != nil {
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
 			// Already expired: report without executing a single statement,
 			// so a dead context can never produce partial output.
 			ip.res.Err = &RuntimeError{Err: CtxErr(err)}
 			return ip.res
 		}
 	}
-	if ip.budget <= 0 {
-		ip.budget = DefaultStepBudget
+	budget := opts.StepBudget
+	if budget <= 0 {
+		budget = DefaultStepBudget
 	}
 	if ip.maxFrames <= 0 {
 		ip.maxFrames = DefaultMaxFrames
 	}
+	ip.meter = NewStepMeter(&ip.res.Steps, budget, opts.Ctx, false)
 	if opts.BuildTrace {
 		ip.tr = trace.New()
 		ip.res.Trace = ip.tr
-		if opts.Checkpoints != nil {
-			opts.Checkpoints.bind(ip.tr)
-			ip.cks = opts.Checkpoints
+		// Only a store of this backend's representation can capture here;
+		// a foreign (VM) store is left untouched.
+		if cs, ok := opts.Checkpoints.(*CheckpointStore); ok && cs != nil {
+			cs.bind(ip.tr)
+			ip.cks = cs
 		}
 	}
 	if opts.Rec.Enabled() {
@@ -372,9 +396,8 @@ type interp struct {
 	inPos     int
 	plan      *SwitchPlan
 	perturb   *PerturbPlan
-	budget    int
 	maxFrames int
-	ctx       context.Context // nil = unbounded
+	meter     StepMeter // budget + ctx-poll accounting (counts into res.Steps)
 
 	tr      *trace.Trace // nil in plain mode
 	occ     []int        // per-statement occurrence counts
@@ -390,13 +413,8 @@ type interp struct {
 	// path: the stack of main-frame control constructs currently being
 	// executed, maintained only while cks != nil; a checkpoint copies it
 	// so RunFrom can rebuild the interpreter's Go stack by descending it.
-	// forceCtx makes the next beginStmt poll Options.Ctx regardless of
-	// the step counter — set by RunFrom so a forked run observes a dead
-	// context on its first suffix step even though the inherited step
-	// count is off the ctxCheckEvery grid.
-	cks      *CheckpointStore
-	path     []pathStep
-	forceCtx bool
+	cks  *CheckpointStore
+	path []pathStep
 }
 
 // abort is the panic payload used to unwind on runtime errors.
@@ -452,18 +470,8 @@ const (
 // entry creation for the execution of one instance of s. It returns the
 // trace index of the new entry (-1 in plain mode).
 func (ip *interp) beginStmt(s ast.Numbered) int {
-	// Budget check precedes the increment so Steps is clamped to exactly
-	// the budget on expiry — deadline accounting layered on the step
-	// counter relies on it never overshooting.
-	if ip.res.Steps >= ip.budget {
-		ip.fail(s.Pos(), s.ID(), ErrBudget)
-	}
-	ip.res.Steps++
-	if ip.ctx != nil && (ip.forceCtx || ip.res.Steps&(ctxCheckEvery-1) == 0) {
-		ip.forceCtx = false
-		if err := ip.ctx.Err(); err != nil {
-			ip.fail(s.Pos(), s.ID(), CtxErr(err))
-		}
+	if err := ip.meter.Tick(); err != nil {
+		ip.fail(s.Pos(), s.ID(), err)
 	}
 	id := s.ID()
 	ip.occ[id]++

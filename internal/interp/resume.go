@@ -32,35 +32,34 @@ func RunFrom(c *Compiled, ck *Checkpoint, opts Options) *Result {
 		inPos:     ck.inPos,
 		plan:      opts.Switch,
 		perturb:   opts.Perturb,
-		budget:    opts.StepBudget,
 		maxFrames: opts.MaxFrames,
-		ctx:       opts.Ctx,
 		occ:       append([]int(nil), ck.occ...),
 		nextAct:   ck.nextAct,
 		res:       &Result{Steps: ck.steps, ResumedAt: ck.steps},
 	}
-	if ip.ctx != nil {
-		if err := ip.ctx.Err(); err != nil {
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
 			// Already expired: mirror Run's contract — no partial suffix.
 			ip.res.Err = &RuntimeError{Err: CtxErr(err)}
 			return ip.res
 		}
 	}
-	if ip.budget <= 0 {
-		ip.budget = DefaultStepBudget
+	budget := opts.StepBudget
+	if budget <= 0 {
+		budget = DefaultStepBudget
 	}
 	if ip.maxFrames <= 0 {
 		ip.maxFrames = DefaultMaxFrames
 	}
+	// forceFirstPoll: the first suffix step must observe a dead context
+	// even though the inherited step count is off the ctxCheckEvery grid.
+	ip.meter = NewStepMeter(&ip.res.Steps, budget, opts.Ctx, true)
 	ip.frames = append([]*frame(nil), ck.frames...)
 	ip.tr = ck.prefix.Fork()
 	ip.res.Trace = ip.tr
 	ip.res.Outputs = ip.tr.Outputs // both clipped: first append reallocates
 	ip.out.WriteString(ck.rendered)
 	ip.curEntry = -1
-	// The first suffix step must observe a dead context even though the
-	// inherited step count is off the ctxCheckEvery grid.
-	ip.forceCtx = true
 
 	ip.resume(ck.path)
 	ip.res.Rendered = ip.out.String()

@@ -21,10 +21,10 @@ type Prefix struct {
 	t *Trace
 	n int
 
-	once     sync.Once
-	childCut []int32 // children of prefix entry i that are themselves < n
-	nRoots   int     // rootsList entries < n
-	nOuts    int     // outputs produced by entries < n
+	once   sync.Once
+	proto  [][]int // per prefix entry, its children < n, capacity-clipped
+	nRoots int     // rootsList entries < n
+	nOuts  int     // outputs produced by entries < n
 }
 
 // PrefixAt returns a fork handle on the first n entries of t. The trace
@@ -43,17 +43,33 @@ func (t *Trace) PrefixAt(n int) *Prefix {
 // Len returns the prefix length in entries.
 func (p *Prefix) Len() int { return p.n }
 
-// build computes the fork skeleton: one counting pass over the prefix.
-// Entries, children rows, rootsList and Outputs of the base trace are
-// append-only and already final for indices < n, so this is safe to run
-// lazily, after the base run finished growing the trace.
+// BaseLen returns the full length of the base trace the prefix was taken
+// from — a sizing hint for forked suffix runs.
+func (p *Prefix) BaseLen() int { return p.t.Len() }
+
+// build computes the fork skeleton: one counting pass over the prefix,
+// then the shared children prototype — per prefix entry, the
+// capacity-clipped row of its children inside the cut. Every fork gets
+// its children array by bulk-copying the prototype instead of re-cutting
+// row by row. Entries, children rows, rootsList and Outputs of the base
+// trace are append-only and already final for indices < n, so this is
+// safe to run lazily, after the base run finished growing the trace.
 func (p *Prefix) build() {
-	p.childCut = make([]int32, p.n)
+	// A lazy base must have been finished by its run before any fork
+	// (Fork reads its children rows and roots list); fail loudly if not.
+	p.t.ensureFinished()
+	childCut := make([]int32, p.n)
 	for i := 0; i < p.n; i++ {
 		if par := p.t.entries[i].Parent; par >= 0 {
-			p.childCut[par]++
+			childCut[par]++
 		} else {
 			p.nRoots++
+		}
+	}
+	p.proto = make([][]int, p.n)
+	for i, cut := range childCut {
+		if cut > 0 {
+			p.proto[i] = p.t.children[i][:cut:cut]
 		}
 	}
 	for _, o := range p.t.Outputs {
@@ -78,14 +94,24 @@ func (p *Prefix) Fork() *Trace {
 		base:      t.entries[:p.n:p.n],
 		Outputs:   t.Outputs[:p.nOuts:p.nOuts],
 		rootsList: t.rootsList[:p.nRoots:p.nRoots],
-		children:  make([][]int, p.n),
-		instIdx:   map[Instance]int{},
-		baseIdx:   t.instIdx,
 	}
-	for i, cut := range p.childCut {
-		if cut > 0 {
-			f.children[i] = t.children[i][:cut:cut]
+	if t.lazy {
+		// Forks of a lazy base stay lazy: the suffix run appends without
+		// index maintenance and calls Finish; prefix instances resolve
+		// through the base trace's complete row table, and the children
+		// prototype is copied only once, into Finish's full-size array
+		// (lazy.go) — the fork itself allocates no O(prefix) state.
+		f.lazy = true
+		f.baseRows = t.own
+		f.baseChildren = p.proto
+		if t.anc != nil && t.anc.in == nil {
+			f.baseAnc = t.anc
 		}
+	} else {
+		f.children = make([][]int, p.n)
+		copy(f.children, p.proto)
+		f.instIdx = map[Instance]int{}
+		f.baseIdx = t.instIdx
 	}
 	return f
 }

@@ -133,12 +133,37 @@ type Trace struct {
 	// stmtInsts maps a statement ID to its instance trace indices in
 	// execution order; built lazily by InstancesOf.
 	stmtInsts map[int][]int
+
+	// lazy marks a trace built with deferred index maintenance (NewLazy):
+	// Append records entries only, and own — the per-statement instance
+	// rows — doubles as the "Finish ran" marker. baseRows and
+	// baseChildren, set by Fork on forks of a lazy base, are the base
+	// trace's complete instance row table (a hit is valid only inside
+	// the shared prefix) and the prefix's shared read-only children
+	// prototype. Finish on such forks fills suffKids (children rows of
+	// suffix parents, indexed by parent-nb) and childOver (the few
+	// prefix parents whose rows gained suffix children) instead of
+	// copying the prototype into a flat array. See lazy.go.
+	// baseAnc, set by Fork when the lazy base already has an
+	// interval-mode ancestry index, seeds this fork's Ancestry with the
+	// base's interval ends instead of a full recomputation.
+	baseAnc *Ancestry
+
+	lazy         bool
+	own          *lazyRows
+	baseRows     *lazyRows
+	baseChildren [][]int
+	suffKids     [][]int
+	childOver    map[int][]int
 }
 
 // InstancesOf returns the trace indices of all instances of statement id,
 // in execution order. The index is built lazily on first call; the trace
 // must not be appended to afterwards.
 func (t *Trace) InstancesOf(stmt int) []int {
+	if t.lazy {
+		return t.instancesLazy(stmt)
+	}
 	if t.stmtInsts == nil {
 		t.stmtInsts = map[int][]int{}
 		for i := 0; i < t.Len(); i++ {
@@ -158,6 +183,13 @@ func New() *Trace {
 // derived indices. It returns the entry index.
 func (t *Trace) Append(e Entry) int {
 	e.Idx = t.Len()
+	if t.lazy {
+		if t.own != nil {
+			panic("trace: Append to a finished lazy trace")
+		}
+		t.entries = append(t.entries, e)
+		return e.Idx
+	}
 	t.entries = append(t.entries, e)
 	t.children = append(t.children, nil)
 	if e.Parent >= 0 {
@@ -184,15 +216,32 @@ func (t *Trace) At(i int) *Entry {
 // Children returns the trace indices directly control dependent on entry
 // i (the members of entry i's region, excluding i itself and excluding
 // nested regions' members), in execution order.
-func (t *Trace) Children(i int) []int { return t.children[i] }
+func (t *Trace) Children(i int) []int {
+	t.ensureFinished()
+	if t.suffKids != nil {
+		if nb := len(t.base); i >= nb {
+			return t.suffKids[i-nb]
+		} else if row, ok := t.childOver[i]; ok {
+			return row
+		}
+		return t.baseChildren[i]
+	}
+	return t.children[i]
+}
 
 // Roots returns the top-level entries (global initializers and the
 // statements of main's body not nested in any predicate).
-func (t *Trace) Roots() []int { return t.rootsList }
+func (t *Trace) Roots() []int {
+	t.ensureFinished()
+	return t.rootsList
+}
 
 // FindInstance returns the trace index of the given statement instance,
 // or -1 if it did not execute.
 func (t *Trace) FindInstance(inst Instance) int {
+	if t.lazy {
+		return t.findLazy(inst)
+	}
 	if i, ok := t.instIdx[inst]; ok {
 		return i
 	}
@@ -207,6 +256,9 @@ func (t *Trace) FindInstance(inst Instance) int {
 
 // Occurrences returns how many times statement id executed.
 func (t *Trace) Occurrences(stmt int) int {
+	if t.lazy {
+		return t.occurrencesLazy(stmt)
+	}
 	n := 0
 	for occ := 1; ; occ++ {
 		if t.FindInstance(Instance{Stmt: stmt, Occ: occ}) < 0 {

@@ -152,8 +152,10 @@ type Engine struct {
 	reachFilter func(implicit.Request) bool
 	ctx         context.Context
 
-	progHash  uint64
-	inputHash uint64
+	progHash    uint64
+	inputHash   uint64
+	backend     interp.Backend
+	backendName string
 
 	rec *obs.Recorder
 
@@ -188,6 +190,11 @@ func New(base *implicit.Verifier, cfg Config) *Engine {
 	}
 	e.progHash = hashString(base.C.Src)
 	e.inputHash = hashInts(base.Input)
+	e.backend = base.Backend
+	if e.backend == nil {
+		e.backend = interp.Tree
+	}
+	e.backendName = e.backend.Name()
 	if base.Orig != nil {
 		base.Orig.Ancestry()
 	}
@@ -223,7 +230,7 @@ func (e *Engine) switchedRunOnce(pred trace.Instance, budget int) *interp.Result
 	if e.cache == nil {
 		return e.runSwitched(pred, budget)
 	}
-	key := RunKey{Prog: e.progHash, Input: e.inputHash, Pred: pred, Budget: budget}
+	key := RunKey{Prog: e.progHash, Input: e.inputHash, Backend: e.backendName, Pred: pred, Budget: budget}
 	res, hit := e.cache.GetOrRun(key, func() *interp.Result {
 		r := e.runSwitched(pred, budget)
 		if r.Trace != nil {
@@ -247,7 +254,7 @@ func (e *Engine) switchedRunOnce(pred trace.Instance, budget int) *interp.Result
 // was taken.
 func (e *Engine) runSwitched(pred trace.Instance, budget int) *interp.Result {
 	e.runs.Add(1)
-	r := implicit.RunSwitchedFrom(e.ctx, e.base.C, e.base.Input, e.base.Checkpoints, e.base.Orig, pred, budget)
+	r := implicit.RunSwitchedFrom(e.ctx, e.backend, e.base.C, e.base.Input, e.base.Checkpoints, e.base.Orig, pred, budget)
 	if r.ResumedAt > 0 {
 		e.checkpointHits.Add(1)
 		e.suffixSteps.Add(int64(r.Steps - r.ResumedAt))

@@ -1,0 +1,51 @@
+package vm
+
+import (
+	"eol/internal/interp"
+	"eol/internal/trace"
+)
+
+// Backend is the bytecode VM execution backend. It satisfies the same
+// byte-identity contract as interp.Tree (see interp.Backend); the
+// compiled bytecode is cached on the *interp.Compiled, so repeated runs
+// of one program lower it exactly once.
+var Backend interp.Backend = vmBackend{}
+
+type vmBackend struct{}
+
+func (vmBackend) Name() string { return "vm" }
+
+func (vmBackend) Run(c *interp.Compiled, opts interp.Options) *interp.Result {
+	return run(c, opts)
+}
+
+func (vmBackend) NewCheckpoints(max int) interp.Checkpoints { return NewStore(max) }
+
+func (vmBackend) RunSwitchedFrom(cks interp.Checkpoints, orig *trace.Trace, c *interp.Compiled, opts interp.Options) *interp.Result {
+	st, _ := cks.(*Store) // a foreign (tree) store falls back to a full run
+	if st == nil || orig == nil || opts.Switch == nil {
+		return nil
+	}
+	idx := orig.FindInstance(trace.Instance{Stmt: opts.Switch.Stmt, Occ: opts.Switch.Occ})
+	if idx < 0 {
+		return nil
+	}
+	ck := st.Nearest(idx)
+	if ck == nil {
+		return nil
+	}
+	if opts.StepBudget > 0 && opts.StepBudget <= ck.steps {
+		// A full run would exhaust this budget before reaching the
+		// checkpoint; forking would misreport the expiry step.
+		return nil
+	}
+	return runFrom(c, ck, opts)
+}
+
+// progKey is the Artifact cache key for the compiled bytecode.
+var progKey int
+
+// programOf returns c's bytecode, lowering it on first use.
+func programOf(c *interp.Compiled) *Program {
+	return c.Artifact(&progKey, func() any { return Compile(c) }).(*Program)
+}

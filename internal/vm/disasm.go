@@ -1,0 +1,109 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"eol/internal/interp"
+	"eol/internal/lang/ast"
+	"eol/internal/lang/token"
+)
+
+// Disassemble renders the compiled bytecode of c as a stable text
+// listing: one line per instruction (pc, opcode, operands) with
+// source-statement annotations at every opBegin and a header per
+// function. The output is deterministic for a given program and is
+// golden-tested by the CLI integration tests (-disasm).
+func Disassemble(c *interp.Compiled) string {
+	p := programOf(c)
+	var sb strings.Builder
+
+	// Map entry pcs to function names for headers.
+	hdr := make(map[int32]string, len(p.fns))
+	for i := range p.fns {
+		fn := &p.fns[i]
+		hdr[fn.entry] = fmt.Sprintf("func %s (%d params, %d slots)", fn.name, fn.nargs, fn.nslots)
+	}
+	sb.WriteString("globals:\n")
+	for pc := range p.code {
+		if h, ok := hdr[int32(pc)]; ok {
+			fmt.Fprintf(&sb, "%s:\n", h)
+		}
+		in := &p.code[pc]
+		fmt.Fprintf(&sb, "%5d  %-10s%s\n", pc, opName(in.op), p.operands(in))
+	}
+	return sb.String()
+}
+
+// operands renders an instruction's operand column, symbolically where
+// the operand indexes a side table.
+func (p *Program) operands(in *instr) string {
+	switch in.op {
+	case opBegin:
+		m := &p.stmts[in.a]
+		return fmt.Sprintf("S%-4d ; %s", m.id, stmtLabel(m.stmt))
+	case opConst:
+		return fmt.Sprintf("%d", p.consts[in.a])
+	case opLoadS, opLoadA, opDeclS, opDeclA, opStoreS, opStoreA:
+		return p.syms[in.a].Name
+	case opStoreSOp, opStoreAOp:
+		return fmt.Sprintf("%s %v=", p.syms[in.a].Name, token.Kind(in.b))
+	case opJump, opJnz, opJz, opPred:
+		return fmt.Sprintf("-> %d", in.a)
+	case opCall, opCallMain:
+		return p.fns[in.a].name
+	case opPrintS:
+		return fmt.Sprintf("%q", p.strs[in.a])
+	case opPrintV:
+		return fmt.Sprintf("arg %d", in.a)
+	case opQuo, opRem, opShl, opShr:
+		if in.b != 0 {
+			return fmt.Sprintf("(S%d)", in.b)
+		}
+	}
+	return ""
+}
+
+// stmtLabel is the one-line source annotation for a statement: its
+// header for control statements (whose bodies are separate
+// instructions), its full text otherwise.
+func stmtLabel(s ast.Numbered) string {
+	switch n := s.(type) {
+	case *ast.IfStmt:
+		return fmt.Sprintf("if (%s)", ast.ExprString(n.Cond))
+	case *ast.WhileStmt:
+		return fmt.Sprintf("while (%s)", ast.ExprString(n.Cond))
+	case *ast.ForStmt:
+		if n.Cond != nil {
+			return fmt.Sprintf("for (; %s; )", ast.ExprString(n.Cond))
+		}
+		return "for (; ; )"
+	default:
+		return ast.StmtString(s)
+	}
+}
+
+func opName(op opcode) string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+var opNames = [...]string{
+	opBegin: "begin", opCheck: "check", opReset: "reset", opHalt: "halt",
+	opConst: "const", opPop: "pop",
+	opLoadS: "load", opLoadA: "loadidx", opDeclS: "decl", opDeclA: "declarr",
+	opStoreS: "store", opStoreSOp: "storeop", opStoreA: "storeidx", opStoreAOp: "storeidxop",
+	opJump: "jump", opJnz: "jnz", opJz: "jz", opBool: "bool",
+	opPred: "pred", opPredTrue: "predtrue",
+	opCall: "call", opCallMain: "callmain",
+	opRetV: "retval", opRet: "ret", opEndFn: "endfn",
+	opNeg: "neg", opNot: "not", opBnot: "bnot",
+	opAdd: "add", opSub: "sub", opMul: "mul", opQuo: "quo", opRem: "rem",
+	opAnd: "and", opOr: "or", opXor: "xor", opShl: "shl", opShr: "shr",
+	opEql: "eql", opNeq: "neq", opLss: "lss", opLeq: "leq", opGtr: "gtr", opGeq: "geq",
+	opPrintS: "prints", opPrintV: "printv", opPrintNL: "printnl",
+	opRead: "read", opPeek: "peek", opEof: "eof",
+	opAbs: "abs", opMin: "min", opMax: "max", opAssert: "assert",
+}
