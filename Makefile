@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke bench-vm verify-table journal-smoke corpus-smoke checkpoint-smoke staticreach-smoke serve-smoke vm-smoke
+.PHONY: all build test race vet lint bench bench-smoke bench-vm verify-table journal-smoke corpus-smoke checkpoint-smoke staticreach-smoke serve-smoke vm-smoke spec-smoke
 
 all: build test lint
 
@@ -127,6 +127,22 @@ vm-smoke:
 	cmp /tmp/eol-vm-tree.json /tmp/eol-vm-vm.json
 	cmp /tmp/eol-vm-tree.jsonl /tmp/eol-vm-vm.jsonl
 	$(GO) run ./cmd/journalcheck /tmp/eol-vm-vm.jsonl
+
+# Speculation smoke lane: localize the long-trace corpus with
+# speculative verification off (default) and on (-speculate). Speculation
+# is results-neutral (docs/SPECULATION.md): the JSON reports and the run
+# journals must be byte-identical — only the in-process Spec* cost
+# counters may differ, and those stay out of both documents — and the
+# journal must validate.
+spec-smoke:
+	$(GO) build -o /tmp/eolcorpus-spec ./cmd/eolcorpus
+	/tmp/eolcorpus-spec -o /tmp/eol-spec-off.json \
+		-trace /tmp/eol-spec-off.jsonl testdata/corpus/checkpoint.json
+	/tmp/eolcorpus-spec -speculate -o /tmp/eol-spec-on.json \
+		-trace /tmp/eol-spec-on.jsonl testdata/corpus/checkpoint.json
+	cmp /tmp/eol-spec-off.json /tmp/eol-spec-on.json
+	cmp /tmp/eol-spec-off.jsonl /tmp/eol-spec-on.jsonl
+	$(GO) run ./cmd/journalcheck /tmp/eol-spec-on.jsonl
 
 # Serve smoke lane: boot the resident server (docs/SERVER.md) on an
 # ephemeral port and drive it with eoloadgen — health probe; a corpus

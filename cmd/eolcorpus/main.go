@@ -75,7 +75,7 @@ func main() {
 		CacheSize:     engFlags.Cache,
 		NoSharedCache: *privateFlag,
 		Checkpoints:   engFlags.Checkpoints,
-		NoStaticReach: engFlags.NoStaticReach,
+		Features:      engFlags.Features(),
 		Backend:       engFlags.Backend,
 		Observer:      observer,
 	})

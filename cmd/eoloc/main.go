@@ -98,7 +98,7 @@ func main() {
 		VerifyWorkers:   engFlags.Workers,
 		VerifyCacheSize: engFlags.Cache,
 		Checkpoints:     engFlags.Checkpoints,
-		NoStaticReach:   engFlags.NoStaticReach,
+		Features:        engFlags.Features(),
 		Observer:        observer,
 	}
 

@@ -71,7 +71,7 @@ func main() {
 			VerifyWorkers: engFlags.Workers,
 			CacheSize:     engFlags.Cache,
 			Checkpoints:   engFlags.Checkpoints,
-			NoStaticReach: engFlags.NoStaticReach,
+			Features:      engFlags.Features(),
 			Backend:       engFlags.Backend,
 		},
 		MaxDeadline: *maxDeadlineFlag,

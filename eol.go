@@ -284,6 +284,21 @@ type Settings struct {
 	// either way; only Stats.Repropagated/DirtyFraction and wall-clock
 	// time differ.
 	NoIncremental bool
+	// Features selects the optional engine features as explicit
+	// tri-states — the preferred, positive spelling of the knobs above.
+	// Each field left at FeatureDefault defers to the corresponding
+	// legacy knob:
+	//
+	//	Features.StaticSkip         ↔ NoStaticSkip
+	//	Features.StaticReach        ↔ NoStaticReach
+	//	Features.IncrementalReprune ↔ NoIncremental
+	//	Features.Checkpoints        ↔ Checkpoints < 0 (the sign; the
+	//	                              magnitude keeps selecting the count)
+	//	Features.Speculation        — new; no legacy knob, off by default
+	//
+	// A FeatureOn/FeatureOff field overrides its legacy knob. See
+	// WithFeatures, WithSpeculation and docs/SPECULATION.md.
+	Features Features
 	// Backend names the execution backend for the failing run and every
 	// re-execution: "vm" (the bytecode VM, the default), "tree" (the
 	// tree-walking reference interpreter), or "" for the default.
@@ -480,6 +495,25 @@ func (s *Session) VerifyImplicitDependence(pred, use Instance, variable string) 
 // ---------------------------------------------------------------------------
 // Localization
 
+// Features selects the locator's optional engine features as explicit
+// tri-states (FeatureDefault / FeatureOn / FeatureOff); see
+// Settings.Features for the mapping onto the legacy negative knobs.
+// Every feature is results-neutral: the diagnosis, counters and journal
+// are byte-identical whatever the switches — only cost counters and
+// wall-clock time change.
+type Features = core.Features
+
+// FeatureMode is the tri-state of one Features field.
+type FeatureMode = core.FeatureMode
+
+// Feature modes: FeatureDefault defers to the legacy knob (or built-in
+// default), FeatureOn/FeatureOff force the feature.
+const (
+	FeatureDefault = core.FeatureDefault
+	FeatureOn      = core.FeatureOn
+	FeatureOff     = core.FeatureOff
+)
+
 // LocateOption configures Locate by mutating the Session's Settings.
 type LocateOption func(*Settings)
 
@@ -546,6 +580,8 @@ func WithCheckpoints(n int) LocateOption {
 // comparison (see Stats.CheckpointHits and Stats.SuffixSteps) and as an
 // escape hatch when snapshot memory matters more than verification
 // speed.
+//
+// Deprecated: use WithFeatures(Features{Checkpoints: FeatureOff}).
 func WithoutCheckpoints() LocateOption {
 	return func(s *Settings) { s.Checkpoints = -1 }
 }
@@ -556,6 +592,8 @@ func WithoutCheckpoints() LocateOption {
 // only the cone invalidated by newly verified edges. The diagnosis is
 // identical either way; the flag exists for A/B cost comparison (see
 // Stats.Repropagated and Stats.DirtyFraction).
+//
+// Deprecated: use WithFeatures(Features{IncrementalReprune: FeatureOff}).
 func WithoutIncrementalReprune() LocateOption {
 	return func(s *Settings) { s.NoIncremental = true }
 }
@@ -564,6 +602,8 @@ func WithoutIncrementalReprune() LocateOption {
 // verifications NOT_ID from the failing trace alone and answers them
 // without a switched re-execution. The diagnosis is identical either
 // way; the flag exists for A/B comparison of run counts.
+//
+// Deprecated: use WithFeatures(Features{StaticSkip: FeatureOff}).
 func WithoutStaticSkip() LocateOption {
 	return func(s *Settings) { s.NoStaticSkip = true }
 }
@@ -573,8 +613,30 @@ func WithoutStaticSkip() LocateOption {
 // graph before any execution (see docs/STATICDEP.md). The diagnosis is
 // identical either way; the flag exists for A/B comparison of run
 // counts (Stats.StaticReachSkips vs Stats.SwitchedRuns).
+//
+// Deprecated: use WithFeatures(Features{StaticReach: FeatureOff}).
 func WithoutStaticReach() LocateOption {
 	return func(s *Settings) { s.NoStaticReach = true }
+}
+
+// WithFeatures overlays the given feature tri-states onto the session's
+// settings: non-default fields win, FeatureDefault fields leave the
+// current configuration (including the legacy negative knobs) alone.
+// The positive replacement for the Without* options above.
+func WithFeatures(f Features) LocateOption {
+	return func(s *Settings) { s.Features = s.Features.Overlay(f) }
+}
+
+// WithSpeculation enables pipelined speculative verification: after each
+// expansion round the locator predicts the next round's candidate
+// predicates and issues their switched runs while the re-prune is still
+// running, so verify latency hides behind analysis latency
+// (docs/SPECULATION.md). The diagnosis, counters and journal are
+// byte-identical with or without it — only Stats.SpecIssued/SpecHits/
+// SpecWasted and wall-clock time differ. Off by default: on single-CPU
+// hosts speculative runs compete with demand work for the same core.
+func WithSpeculation() LocateOption {
+	return WithFeatures(Features{Speculation: core.FeatureOn})
 }
 
 // WithBackend selects the execution backend by name: "vm" (bytecode
@@ -720,6 +782,7 @@ func (s *Session) LocateContext(ctx context.Context, opts ...LocateOption) (*Dia
 		NoStaticReach:   st.NoStaticReach,
 		NoIncremental:   st.NoIncremental,
 		Checkpoints:     st.Checkpoints,
+		Features:        st.Features,
 		Observer:        observer,
 	}
 	rep, err := core.LocateContext(ctx, spec)

@@ -144,6 +144,47 @@ func TestManifestConversion(t *testing.T) {
 	}
 }
 
+// TestWireFeatures: the additive features field decodes strictly, folds
+// through Manifest(), and unknown names or modes are rejected there —
+// which the server reports with the `invalid` code.
+func TestWireFeatures(t *testing.T) {
+	req, err := DecodeCorpusRequest(strings.NewReader(`{
+  "defaults": {"features": {"speculation": "on"}},
+  "subjects": [
+    {"source": "main(){}", "expected": [1]},
+    {"source": "main(){}", "expected": [1], "features": {"speculation": "off"}}
+  ]
+}`))
+	if err != nil {
+		t.Fatalf("features field rejected: %v", err)
+	}
+	m, err := req.Manifest()
+	if err != nil {
+		t.Fatalf("valid features rejected: %v", err)
+	}
+	if got := m.Subjects[0].Features["speculation"]; got != "on" {
+		t.Errorf("default feature not folded: %v", m.Subjects[0].Features)
+	}
+	if got := m.Subjects[1].Features["speculation"]; got != "off" {
+		t.Errorf("subject feature overridden: %v", m.Subjects[1].Features)
+	}
+
+	bad := &CorpusRequest{Subjects: []corpus.Subject{{
+		Source: "main(){}", Expected: []int64{1},
+		Features: map[string]string{"warp_drive": "on"},
+	}}}
+	if _, err := bad.Manifest(); err == nil || !strings.Contains(err.Error(), "warp_drive") {
+		t.Errorf("unknown feature name not rejected: %v", err)
+	}
+	lr := &LocateRequest{Subject: corpus.Subject{
+		Source: "main(){}", Expected: []int64{1},
+		Features: map[string]string{"speculation": "maybe"},
+	}}
+	if _, err := lr.Manifest(); err == nil || !strings.Contains(err.Error(), "maybe") {
+		t.Errorf("unknown feature mode not rejected: %v", err)
+	}
+}
+
 // TestRequestFromManifest: loaded manifests ship with sources inlined
 // and file references cleared, and survive the round trip through
 // strict decoding.

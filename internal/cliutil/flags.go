@@ -3,18 +3,19 @@ package cliutil
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"strconv"
 	"strings"
 
+	"eol/internal/core"
 	"eol/internal/obs"
 )
 
-// hiddenUsagePrefix marks a flag as a hidden alias: it parses normally
-// but is omitted from the -h listing. The unified flag names (-workers,
-// -cache) use it to keep the pre-unification spellings working without
-// advertising them.
+// hiddenUsagePrefix marks a flag as hidden: it parses normally but is
+// omitted from the -h listing. Nothing registers a hidden flag today —
+// the deprecated -verify-workers/-verify-cache aliases that used it
+// were removed after their deprecation cycle (they now fail with the
+// usual unknown-flag usage error, exit code 2) — but the mechanism
+// stays for the next rename.
 const hiddenUsagePrefix = "hidden: "
 
 // EngineFlags holds the verification-engine sizing knobs shared by every
@@ -39,52 +40,48 @@ type EngineFlags struct {
 	// "tree"). Backends are byte-identical — the flag only changes
 	// wall-clock time (docs/VM.md).
 	Backend string
+	// Speculate enables speculative verification: predicted next-round
+	// switched runs overlap the incremental re-prune. Results, counters,
+	// and the journal are byte-identical either way
+	// (docs/SPECULATION.md).
+	Speculate bool
 }
 
-// deprecatedInt is an int flag.Value bound to the canonical flag's
-// target that prints a one-line deprecation warning when actually used
-// on a command line.
-type deprecatedInt struct {
-	target   *int
-	old, new string
-	out      func() io.Writer
-}
-
-func (d *deprecatedInt) String() string {
-	if d.target == nil {
-		return "0" // the zero Value flag.PrintDefaults probes
+// Features translates the parsed flags into the engine-feature
+// tri-states for core.Spec.Features / corpus.Options.Features:
+// -no-static-reach maps to StaticReach off, -speculate to Speculation
+// on. The sizing knobs (Workers, Cache, Checkpoints) stay plain ints
+// because they carry sizes, not on/off choices. Commands should pass
+// this instead of copying NoStaticReach into the deprecated negative
+// fields.
+func (ef *EngineFlags) Features() core.Features {
+	var f core.Features
+	if ef.NoStaticReach {
+		f.StaticReach = core.FeatureOff
 	}
-	return strconv.Itoa(*d.target)
-}
-
-func (d *deprecatedInt) Set(s string) error {
-	v, err := strconv.Atoi(s)
-	if err != nil {
-		return err
+	if ef.Speculate {
+		f.Speculation = core.FeatureOn
 	}
-	*d.target = v
-	fmt.Fprintf(d.out(), "warning: -%s is deprecated, use -%s\n", d.old, d.new)
-	return nil
+	return f
 }
 
-// RegisterEngineFlags registers -workers and -cache on fs, plus the
-// old per-command spellings -verify-workers and -verify-cache as hidden
-// deprecated aliases bound to the same variables: they keep parsing but
-// warn on use and do not appear in -h output.
+// RegisterEngineFlags registers the unified engine knobs -workers,
+// -cache, -checkpoints, -no-static-reach, -backend, and -speculate on
+// fs. The pre-unification spellings -verify-workers/-verify-cache
+// finished their deprecation cycle and are gone: they fail like any
+// unknown flag (usage + exit code 2 under flag.ExitOnError).
 func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
 	ef := &EngineFlags{}
 	fs.IntVar(&ef.Workers, "workers", 0,
 		"verification workers (0 = GOMAXPROCS, 1 = sequential)")
-	fs.Var(&deprecatedInt{&ef.Workers, "verify-workers", "workers", fs.Output},
-		"verify-workers", hiddenUsagePrefix+"deprecated alias for -workers")
 	fs.IntVar(&ef.Cache, "cache", 0,
 		"switched-run cache size (0 = default, negative = disabled)")
-	fs.Var(&deprecatedInt{&ef.Cache, "verify-cache", "cache", fs.Output},
-		"verify-cache", hiddenUsagePrefix+"deprecated alias for -cache")
 	fs.IntVar(&ef.Checkpoints, "checkpoints", 0,
 		"failing-run checkpoint bound for switched replay (0 = default, negative = disabled)")
 	fs.BoolVar(&ef.NoStaticReach, "no-static-reach", false,
 		"disable the pre-execution static reach filter")
+	fs.BoolVar(&ef.Speculate, "speculate", false,
+		"speculatively verify predicted candidates during re-prune (same results, see docs/SPECULATION.md)")
 	RegisterBackendFlag(fs, &ef.Backend)
 	hideAliases(fs)
 	return ef

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"eol/internal/core"
 	"eol/internal/obs"
 )
 
@@ -22,25 +23,46 @@ func TestEngineFlagsCanonicalNames(t *testing.T) {
 	}
 }
 
-func TestEngineFlagsHiddenAliases(t *testing.T) {
+// TestEngineFlagsRemovedAliases: the pre-unification spellings
+// -verify-workers/-verify-cache finished their deprecation cycle and
+// now fail like any unknown flag. Under the commands' flag.ExitOnError
+// sets that means usage output and exit code 2; with ContinueOnError
+// here it surfaces as a Parse error naming the flag.
+func TestEngineFlagsRemovedAliases(t *testing.T) {
+	for _, alias := range []string{"verify-workers", "verify-cache"} {
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		var buf bytes.Buffer
+		fs.SetOutput(&buf)
+		RegisterEngineFlags(fs)
+		err := fs.Parse([]string{"-" + alias, "2"})
+		if err == nil {
+			t.Fatalf("-%s still parses; the removed alias must be an unknown flag", alias)
+		}
+		if !strings.Contains(err.Error(), alias) {
+			t.Errorf("-%s error does not name the flag: %v", alias, err)
+		}
+	}
+}
+
+func TestEngineFlagsSpeculate(t *testing.T) {
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
-	var buf bytes.Buffer
-	fs.SetOutput(&buf)
 	ef := RegisterEngineFlags(fs)
-	if err := fs.Parse([]string{"-verify-workers", "2", "-verify-cache", "64"}); err != nil {
+	if err := fs.Parse([]string{"-speculate"}); err != nil {
 		t.Fatal(err)
 	}
-	if ef.Workers != 2 || ef.Cache != 64 {
-		t.Errorf("got workers=%d cache=%d, want 2 64", ef.Workers, ef.Cache)
+	if !ef.Speculate {
+		t.Fatal("-speculate did not set Speculate")
 	}
-	// Using an alias warns, naming both spellings.
-	for _, want := range []string{
-		"warning: -verify-workers is deprecated, use -workers",
-		"warning: -verify-cache is deprecated, use -cache",
-	} {
-		if !strings.Contains(buf.String(), want) {
-			t.Errorf("missing deprecation warning %q in:\n%s", want, buf.String())
-		}
+	if f := ef.Features(); f.Speculation != core.FeatureOn {
+		t.Errorf("Features().Speculation = %v, want on", f.Speculation)
+	}
+	ef.NoStaticReach = true
+	if f := ef.Features(); f.StaticReach != core.FeatureOff {
+		t.Errorf("Features().StaticReach = %v, want off", f.StaticReach)
+	}
+	var zero EngineFlags
+	if f := zero.Features(); f != (core.Features{}) {
+		t.Errorf("zero EngineFlags yields non-default features %+v", f)
 	}
 }
 
@@ -70,14 +92,14 @@ func TestUsageHidesAliases(t *testing.T) {
 	fs.SetOutput(&buf)
 	fs.Usage()
 	out := buf.String()
-	for _, want := range []string{"-workers", "-cache", "-trace", "-progress"} {
+	for _, want := range []string{"-workers", "-cache", "-speculate", "-trace", "-progress"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("usage does not advertise %s:\n%s", want, out)
 		}
 	}
-	for _, hidden := range []string{"verify-workers", "verify-cache"} {
-		if strings.Contains(out, hidden) {
-			t.Errorf("usage leaks hidden alias %s:\n%s", hidden, out)
+	for _, gone := range []string{"verify-workers", "verify-cache"} {
+		if strings.Contains(out, gone) {
+			t.Errorf("usage still mentions removed alias %s:\n%s", gone, out)
 		}
 	}
 }

@@ -151,12 +151,19 @@ type Spec struct {
 	// calls (e.g. many localizations of one program family). Overrides
 	// VerifyCacheSize.
 	VerifyCache *verifyengine.RunCache
+	// Features selects the optional engine features as explicit
+	// tri-states (see the Features type). It is the preferred spelling;
+	// the negative knobs below remain honored where a field is left at
+	// FeatureDefault. Resolution order is defined by ResolveFeatures.
+	Features Features
 	// NoIncremental disables incremental re-pruning: every PruneSlicing
 	// pass recomputes confidence over the whole graph instead of
 	// re-propagating only the cone invalidated since the previous pass.
 	// Results (Report counters, VerifyLog, obs journal) are byte-identical
 	// either way — only Stats.Repropagated/DirtyFraction and wall-clock
 	// time differ — so this flag exists for A/B comparison and debugging.
+	//
+	// Deprecated: set Features.IncrementalReprune = FeatureOff instead.
 	NoIncremental bool
 	// Checkpoints bounds the execution snapshots captured during the
 	// failing run for checkpointed switched replay (docs/CHECKPOINT.md):
@@ -166,6 +173,10 @@ type Spec struct {
 	// VerifyLog, obs journal) are byte-identical on or off — only
 	// Stats.CheckpointHits/SuffixSteps/Checkpoints/CheckpointBytes and
 	// wall-clock time differ.
+	//
+	// Deprecated: the negative-means-off encoding; prefer
+	// Features.Checkpoints for the on/off switch and keep this field
+	// >= 0 as the capture count.
 	Checkpoints int
 	// NoStaticSkip disables the static skip-filter
 	// (check.SwitchFilter), which proves some verifications NOT_ID from
@@ -174,6 +185,8 @@ type Spec struct {
 	// VerifyLog — only Stats.SwitchedRuns and StaticSkips — so it is on
 	// by default; this flag exists for A/B comparison and debugging.
 	// The filter is unsound under PathMode and is force-disabled there.
+	//
+	// Deprecated: set Features.StaticSkip = FeatureOff instead.
 	NoStaticSkip bool
 	// NoStaticReach disables the SPDG reach filter
 	// (check.StaticReachFilter), which proves some verifications NOT_ID
@@ -183,6 +196,8 @@ type Spec struct {
 	// VerifyLog — only Stats.SwitchedRuns and StaticReachSkips — so it is
 	// on by default; the flag exists for A/B comparison and debugging.
 	// Unsound under PathMode and force-disabled there.
+	//
+	// Deprecated: set Features.StaticReach = FeatureOff instead.
 	NoStaticReach bool
 	// StaticDeps optionally supplies a prebuilt SPDG for Program (e.g.
 	// the corpus driver's shared staticdep.Cache); nil means Locate
@@ -291,6 +306,8 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 		maxIter = 10
 	}
 
+	feats := spec.ResolveFeatures()
+
 	rec := obs.NewRecorder(spec.Observer)
 	rec.Begin("locate")
 
@@ -304,8 +321,8 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 	// fork from (unless disabled). The store is the backend's own
 	// representation, so forks restore native execution state.
 	var cks interp.Checkpoints
-	if spec.Checkpoints >= 0 {
-		cks = bk.NewCheckpoints(spec.Checkpoints)
+	if feats.Checkpoints {
+		cks = bk.NewCheckpoints(feats.CheckpointCount)
 	}
 	rec.Begin("failing_run")
 	run := bk.Run(spec.Program, interp.Options{Input: spec.Input, BuildTrace: true, Rec: rec, Ctx: ctx, Checkpoints: cks})
@@ -345,7 +362,7 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 	cx := slicing.NewContext(spec.Program, tr)
 	cx.CrossFunction = spec.CrossFunctionPD
 	an := confidence.New(spec.Program, g, spec.Profile, correct, wrong)
-	an.Incremental = !spec.NoIncremental
+	an.Incremental = feats.IncrementalReprune
 	rec.End("slicing", int64(tr.Len()))
 	ver := &implicit.Verifier{
 		C: spec.Program, Input: spec.Input, Orig: tr,
@@ -365,7 +382,7 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 	// switched run. Unsound under PathMode (taint through allowed suffix
 	// writes can create an explicit p'-u' path), so only installed for
 	// the default edge-mode verifier.
-	if !spec.NoStaticSkip && !spec.PathMode {
+	if feats.StaticSkip && !spec.PathMode {
 		flt := check.NewSwitchFilter(spec.Program, nil, tr, wrong.Entry, spec.BudgetFactor)
 		engCfg.Filter = func(req implicit.Request) bool {
 			return flt.ProvablyNotID(req.Pred, req.Use, req.UseSym)
@@ -374,7 +391,7 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 	// SPDG reach filter: proves NOT_ID pre-execution from the static
 	// dependence graph, consulted by the engine before the replay filter
 	// above. Same PathMode exclusion.
-	if !spec.NoStaticReach && !spec.PathMode {
+	if feats.StaticReach && !spec.PathMode {
 		sd := spec.StaticDeps
 		if sd == nil {
 			sd = staticdep.New(spec.Program, cx.Flow)
@@ -388,15 +405,15 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 
 	rep := &Report{WrongOutput: wrong, Vexp: vexp, Trace: tr, Graph: g}
 
-	l := &locator{spec: spec, ctx: ctx, cx: cx, an: an, ver: ver, eng: eng, rep: rep,
-		rec: rec, pdCache: map[int][]slicing.PDep{}, judged: map[int]bool{}}
+	l := &locator{spec: spec, ctx: ctx, feats: feats, cx: cx, an: an, ver: ver, eng: eng, rep: rep,
+		rec: rec, pdCache: map[int][]slicing.PDep{}, judged: map[int]bool{},
+		expanded: map[int]bool{}}
 
 	// Initial PruneSlicing (Algorithm 2 line 3).
 	if err := l.pruneSlicing(); err != nil {
 		return l.abort(err)
 	}
 
-	expanded := map[int]bool{}
 	for iter := 0; iter < maxIter; iter++ {
 		if l.rootInCandidates() {
 			break
@@ -407,10 +424,10 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 		// Select uses u from PS by rank until one yields edges
 		// (Algorithm 2 lines 5-18).
 		for _, cand := range l.an.FaultCandidates() {
-			if expanded[cand.Entry] {
+			if l.expanded[cand.Entry] {
 				continue
 			}
-			expanded[cand.Entry] = true
+			l.expanded[cand.Entry] = true
 			ok, err := l.expand(cand.Entry)
 			if err != nil {
 				expErr = err
@@ -436,6 +453,10 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 			break // no unexpanded candidates produced edges: give up
 		}
 		rep.Stats.Iterations++
+		// Pipelining (docs/SPECULATION.md): issue the predicted next
+		// round's switched runs now, so they execute while the re-prune
+		// below occupies this goroutine.
+		l.speculate()
 		err := l.pruneSlicing() // Algorithm 2 line 19
 		rec.End("iteration", 1)
 		if err != nil {
@@ -458,18 +479,59 @@ func LocateContext(ctx context.Context, spec *Spec) (*Report, error) {
 }
 
 type locator struct {
-	spec    *Spec
-	ctx     context.Context
-	cx      *slicing.Context
-	an      *confidence.Analyzer
-	ver     *implicit.Verifier
-	eng     *verifyengine.Engine
-	rep     *Report
-	rec     *obs.Recorder
-	pdCache map[int][]slicing.PDep
-	judged  map[int]bool // entries already answered "corrupted" by the user
+	spec     *Spec
+	ctx      context.Context
+	feats    ResolvedFeatures
+	cx       *slicing.Context
+	an       *confidence.Analyzer
+	ver      *implicit.Verifier
+	eng      *verifyengine.Engine
+	rep      *Report
+	rec      *obs.Recorder
+	pdCache  map[int][]slicing.PDep
+	judged   map[int]bool // entries already answered "corrupted" by the user
+	expanded map[int]bool // entries already selected for expansion
 
 	boundaryVals []int64 // memoized perturbation probe values
+}
+
+// speculateTopK bounds how many predicted candidates get their potential
+// dependences speculated per round. The next round expands exactly one
+// candidate (the top-ranked unexpanded one that yields edges), so a
+// small K covers the common case while bounding misprediction cost.
+const speculateTopK = 2
+
+// speculate predicts the next round's expansion targets from the
+// analyzer's stale ranking (confidence.PredictCandidates) and issues
+// their potential dependences' switched runs speculatively, overlapping
+// them with the re-prune that follows. Determinism is unaffected by
+// construction: speculative runs are invisible to every journal-visible
+// counter until a demand lookup claims them, and then charge exactly
+// what the demand run they replaced would have (docs/SPECULATION.md).
+func (l *locator) speculate() {
+	if !l.feats.Speculation || l.spec.PathMode {
+		return
+	}
+	picked := 0
+	var reqs []implicit.Request
+	for _, cand := range l.an.PredictCandidates(0) {
+		if l.expanded[cand.Entry] {
+			continue
+		}
+		pds := l.pd(cand.Entry)
+		if len(pds) == 0 {
+			continue
+		}
+		for _, pd := range pds {
+			reqs = append(reqs, implicit.Request{
+				Pred: pd.Pred, Use: cand.Entry, UseSym: pd.UseSym, UseElem: pd.UseElem,
+			})
+		}
+		if picked++; picked >= speculateTopK {
+			break
+		}
+	}
+	l.eng.Speculate(reqs)
 }
 
 func (l *locator) pd(entry int) []slicing.PDep {
@@ -541,7 +603,11 @@ func (l *locator) abort(err error) (*Report, error) {
 
 // finalizeStats folds the verifier's, engine's and analyzer's cost
 // counters into the report. Safe on the partial state of an aborted run.
+// It first drains the speculation pipeline — aborting in-flight
+// speculative runs — so no engine goroutine outlives Locate and the
+// counters below are final.
 func (l *locator) finalizeStats() {
+	l.eng.WaitSpeculation()
 	rep := l.rep
 	rep.Stats.Verifications = l.ver.Verifications
 	rep.VerifyLog = l.ver.Log
@@ -555,6 +621,9 @@ func (l *locator) finalizeStats() {
 	rep.Stats.AlignedRegions = es.AlignedRegions
 	rep.Stats.CheckpointHits = es.CheckpointHits
 	rep.Stats.SuffixSteps = es.SuffixSteps
+	rep.Stats.SpecIssued = es.SpecIssued
+	rep.Stats.SpecHits = es.SpecHits
+	rep.Stats.SpecWasted = es.SpecWasted
 	if cks := l.ver.Checkpoints; cks != nil {
 		cs := cks.Stats()
 		rep.Stats.Checkpoints = cs.Count

@@ -1,0 +1,157 @@
+package core
+
+// Mid-speculation cancellation: a context cancel that lands while
+// speculative switched runs are in flight must discard them — canceled
+// results are never committed to the shared cache (the PR 5 poisoning
+// guard, extended to the speculative side table) — drain every
+// goroutine, and leave the shared cache serving byte-identical verdicts
+// to later localizations.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"eol/internal/interp"
+	"eol/internal/obs"
+	"eol/internal/verifyengine"
+)
+
+// cancelOnNth cancels a context the nth time the named span begins —
+// cancelOn generalized so the test can let the first reprune (before any
+// speculation exists) pass and strike the second, which begins
+// immediately after locator.speculate() has issued its runs.
+type cancelOnNth struct {
+	span   string
+	n      int
+	cancel context.CancelFunc
+	seen   int
+	fired  bool
+	events []obs.Event
+}
+
+func (c *cancelOnNth) Event(e obs.Event) {
+	c.events = append(c.events, e)
+	if !c.fired && e.Kind == obs.KindBegin && e.Name == c.span {
+		c.seen++
+		if c.seen == c.n {
+			c.fired = true
+			c.cancel()
+		}
+	}
+}
+
+// TestCancelMidSpeculation cancels as the post-expansion re-prune begins
+// — exactly the window speculative runs overlap — and verifies the abort
+// contract plus cache hygiene: a fresh localization over the same shared
+// cache reproduces the uncached baseline verdict for verdict, counter
+// for counter.
+func TestCancelMidSpeculation(t *testing.T) {
+	baseSpec, _ := fig1Spec(t)
+	baseSpec.VerifyCacheSize = -1
+	want, err := Locate(baseSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Located {
+		t.Fatal("baseline did not locate")
+	}
+
+	cache := verifyengine.NewRunCache(0)
+	before := runtime.NumGoroutine()
+
+	spec, _ := fig1Spec(t)
+	spec.VerifyWorkers = 4
+	spec.VerifyCache = cache
+	spec.Features.Speculation = FeatureOn
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The first reprune runs before the expansion loop; the second begins
+	// right after the locator issued its speculative runs.
+	co := &cancelOnNth{span: "reprune", n: 2, cancel: cancel}
+	spec.Observer = co
+	rep, err := LocateContext(ctx, spec)
+	if !co.fired {
+		t.Fatal("second reprune never began; cannot cancel mid-speculation")
+	}
+	if err == nil {
+		t.Fatal("Locate succeeded, want cancellation error")
+	}
+	if !errors.Is(err, interp.ErrCanceled) {
+		t.Fatalf("error %v does not match ErrCanceled", err)
+	}
+	if rep == nil || rep.Located {
+		t.Fatalf("aborted run: report %+v", rep)
+	}
+	checkBalanced(t, co.events)
+
+	// WaitSpeculation ran inside finalizeStats: no speculative goroutine
+	// may outlive Locate.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after canceled speculative run",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Cache hygiene: whatever the aborted run left behind (completed
+	// speculative entries, demand-run results) must be real runs only —
+	// a later localization sharing the cache reproduces the uncached
+	// baseline exactly.
+	spec2, _ := fig1Spec(t)
+	spec2.VerifyCache = cache
+	got, err := Locate(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Located != want.Located || got.RootEntry != want.RootEntry {
+		t.Errorf("after aborted speculation: located %v@%d, want %v@%d",
+			got.Located, got.RootEntry, want.Located, want.RootEntry)
+	}
+	if got.Stats.Verifications != want.Stats.Verifications ||
+		got.Stats.UserPrunings != want.Stats.UserPrunings ||
+		got.Stats.Iterations != want.Stats.Iterations {
+		t.Errorf("after aborted speculation: counters (%d %d %d), want (%d %d %d)",
+			got.Stats.Verifications, got.Stats.UserPrunings, got.Stats.Iterations,
+			want.Stats.Verifications, want.Stats.UserPrunings, want.Stats.Iterations)
+	}
+	if !reflect.DeepEqual(got.VerifyLog, want.VerifyLog) {
+		t.Errorf("after aborted speculation: VerifyLog diverged\n got: %v\nwant: %v",
+			got.VerifyLog, want.VerifyLog)
+	}
+}
+
+// TestCanceledSpeculativeLocateLeaksNoGoroutines is the speculative
+// variant of TestCanceledLocateLeaksNoGoroutines: repeated canceled runs
+// with speculation on settle back to the starting goroutine count.
+func TestCanceledSpeculativeLocateLeaksNoGoroutines(t *testing.T) {
+	cache := verifyengine.NewRunCache(0)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		spec, _ := fig1Spec(t)
+		spec.VerifyWorkers = 4
+		spec.VerifyCache = cache
+		spec.Features.Speculation = FeatureOn
+		ctx, cancel := context.WithCancel(context.Background())
+		co := &cancelOn{span: "iteration", cancel: cancel}
+		spec.Observer = co
+		if _, err := LocateContext(ctx, spec); err == nil {
+			t.Fatal("expected cancellation error")
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after canceled speculative runs",
+		before, runtime.NumGoroutine())
+}

@@ -75,7 +75,13 @@ type Options struct {
 	// NoStaticReach disables the pre-execution static reach filter
 	// (docs/STATICDEP.md). Per-subject results are identical either way;
 	// only the run-count split in Stats changes.
+	//
+	// Deprecated: set Features.StaticReach = core.FeatureOff instead.
 	NoStaticReach bool
+	// Features selects optional engine features for every subject, as
+	// explicit tri-states; per-subject manifest features (wire spelling)
+	// overlay it key by key. Results-neutral, like all features.
+	Features core.Features
 	// Backend names the execution backend for subjects that do not pick
 	// their own ("" = library default). Backends are byte-identical, so
 	// the corpus JSON and journal never depend on — or record — the
@@ -333,6 +339,13 @@ func runSubject(ctx context.Context, s *Subject, shard int, shared *verifyengine
 		defer cancel()
 	}
 
+	// Per-key feature merge: the subject's manifest features (validated by
+	// Manifest.Validate, so the parse cannot fail here) overlay the
+	// corpus-wide Options.Features.
+	subjFeats, err := core.ParseFeatures(s.Features)
+	if err != nil {
+		return fail(err)
+	}
 	spec := &core.Spec{
 		Program:         faulty,
 		Backend:         bk,
@@ -346,8 +359,9 @@ func runSubject(ctx context.Context, s *Subject, shard int, shared *verifyengine
 		VerifyCache:     shared,
 		Checkpoints:     opts.Checkpoints,
 		NoStaticReach:   opts.NoStaticReach,
+		Features:        opts.Features.Overlay(subjFeats),
 	}
-	if !opts.NoStaticReach && !s.PathMode {
+	if spec.ResolveFeatures().StaticReach && !s.PathMode {
 		spec.StaticDeps = sd.Get(faulty)
 	}
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"eol/internal/backend"
+	"eol/internal/core"
 )
 
 // Duration is a time.Duration that unmarshals from either a JSON string
@@ -95,16 +96,25 @@ type Subject struct {
 	// library default). Backends are byte-identical, so results and the
 	// journal do not depend on — and never record — the choice.
 	Backend string `json:"backend,omitempty"`
+	// Features selects optional engine features by wire name
+	// (static_skip, static_reach, incremental_reprune, checkpoints,
+	// speculation) with tri-state values ("on", "off", "default").
+	// Per-key merge order: subject over Defaults.Features over
+	// Options.Features. Unknown names or values fail Validate. Every
+	// feature is results-neutral, so results and the journal do not
+	// depend on the choice.
+	Features map[string]string `json:"features,omitempty"`
 }
 
 // Defaults are manifest-wide subject defaults, folded into each subject
 // by Load where the subject leaves the field zero.
 type Defaults struct {
-	Deadline        Duration `json:"deadline,omitempty"`
-	MaxIterations   int      `json:"max_iterations,omitempty"`
-	PathMode        bool     `json:"path_mode,omitempty"`
-	CrossFunctionPD bool     `json:"cross_function_pd,omitempty"`
-	Backend         string   `json:"backend,omitempty"`
+	Deadline        Duration          `json:"deadline,omitempty"`
+	MaxIterations   int               `json:"max_iterations,omitempty"`
+	PathMode        bool              `json:"path_mode,omitempty"`
+	CrossFunctionPD bool              `json:"cross_function_pd,omitempty"`
+	Backend         string            `json:"backend,omitempty"`
+	Features        map[string]string `json:"features,omitempty"`
 }
 
 // Manifest is the on-disk corpus description: defaults plus subjects.
@@ -189,6 +199,18 @@ func (m *Manifest) Fold() {
 		if s.Backend == "" {
 			s.Backend = m.Defaults.Backend
 		}
+		// Per-key merge: a key the subject leaves unset inherits the
+		// manifest default; subject keys (including explicit "default")
+		// win.
+		for name, mode := range m.Defaults.Features {
+			if _, ok := s.Features[name]; ok {
+				continue
+			}
+			if s.Features == nil {
+				s.Features = map[string]string{}
+			}
+			s.Features[name] = mode
+		}
 	}
 }
 
@@ -212,6 +234,9 @@ func (m *Manifest) Validate() error {
 		}
 		seen[s.Name] = true
 		if _, err := backend.Lookup(s.Backend); err != nil {
+			return fmt.Errorf("subject %d (%s): %w", i, s.Name, err)
+		}
+		if _, err := core.ParseFeatures(s.Features); err != nil {
 			return fmt.Errorf("subject %d (%s): %w", i, s.Name, err)
 		}
 	}

@@ -132,6 +132,8 @@ func TestInvalidRequests(t *testing.T) {
 		{"file ref", "/v1/locate", `{"file":"/etc/passwd","expected":[1]}`},
 		{"no subjects", "/v1/corpus", `{"subjects":[]}`},
 		{"no expected", "/v1/corpus", `{"subjects":[{"source":"main(){}"}]}`},
+		{"unknown feature", "/v1/locate", `{"source":"main(){}","expected":[1],"features":{"warp_drive":"on"}}`},
+		{"bad feature mode", "/v1/corpus", `{"subjects":[{"source":"main(){}","expected":[1],"features":{"speculation":"maybe"}}]}`},
 	}
 	for _, c := range cases {
 		code, _, b := post(t, ts.URL+c.path, "", []byte(c.body))

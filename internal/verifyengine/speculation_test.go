@@ -1,0 +1,243 @@
+package verifyengine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"eol/internal/interp"
+	"eol/internal/trace"
+)
+
+// TestSpeculateThenBatchMatchesSequential: issuing the whole batch
+// speculatively ahead of time must leave the demand path observably
+// unchanged — identical verdicts, log, and charged counters — while
+// SpecIssued/SpecHits record that the work was hidden.
+func TestSpeculateThenBatchMatchesSequential(t *testing.T) {
+	_, reqs := fixture(t)
+	wantVerdicts, wantV := sequentialBaseline(t, reqs)
+
+	// Baseline engine without speculation, same cache configuration.
+	basePlain, reqsPlain := fixture(t)
+	plain := New(basePlain, Config{Workers: 2, CacheSize: 0})
+	plain.VerifyBatch(reqsPlain)
+	plainStats := plain.Stats()
+
+	base, reqs := fixture(t)
+	e := New(base, Config{Workers: 2, CacheSize: 0})
+	issued := e.Speculate(reqs)
+	if issued == 0 {
+		t.Fatal("Speculate issued no runs")
+	}
+	got := e.VerifyBatch(reqs)
+	e.WaitSpeculation()
+
+	if !reflect.DeepEqual(got, wantVerdicts) {
+		t.Errorf("verdicts = %v, want %v", got, wantVerdicts)
+	}
+	if !reflect.DeepEqual(base.Log, wantV.Log) {
+		t.Errorf("Log = %v, want %v", base.Log, wantV.Log)
+	}
+	s := e.Stats()
+	if s.SpecIssued != int64(issued) || s.SpecIssued == 0 {
+		t.Errorf("SpecIssued = %d, want %d", s.SpecIssued, issued)
+	}
+	if s.SpecHits == 0 {
+		t.Error("no speculative run was claimed by the demand batch")
+	}
+	if s.SpecWasted != s.SpecIssued-s.SpecHits {
+		t.Errorf("SpecWasted = %d, want %d", s.SpecWasted, s.SpecIssued-s.SpecHits)
+	}
+	// Charge-on-claim: every counter the journal can see matches the
+	// speculation-free engine exactly.
+	if s.Runs != plainStats.Runs || s.CacheHits != plainStats.CacheHits ||
+		s.CacheMisses != plainStats.CacheMisses ||
+		s.CheckpointHits != plainStats.CheckpointHits ||
+		s.SuffixSteps != plainStats.SuffixSteps {
+		t.Errorf("charged counters diverged with speculation:\n with: %+v\n without: %+v", s, plainStats)
+	}
+}
+
+// TestSpeculateSkipsDegenerateConfigs: no cache, or a path-mode
+// verifier, means nowhere to land results — Speculate must refuse.
+func TestSpeculateSkipsDegenerateConfigs(t *testing.T) {
+	base, reqs := fixture(t)
+	e := New(base, Config{Workers: 2, CacheSize: -1})
+	if n := e.Speculate(reqs); n != 0 {
+		t.Errorf("cacheless engine issued %d speculative runs", n)
+	}
+
+	base2, reqs2 := fixture(t)
+	base2.PathMode = true
+	e2 := New(base2, Config{Workers: 2, CacheSize: 0})
+	if n := e2.Speculate(reqs2); n != 0 {
+		t.Errorf("path-mode engine issued %d speculative runs", n)
+	}
+}
+
+// TestSpeculateIdempotent: re-speculating the same requests issues
+// nothing new (the keys are in flight or already committed), and
+// Speculate after WaitSpeculation is a no-op.
+func TestSpeculateIdempotent(t *testing.T) {
+	base, reqs := fixture(t)
+	e := New(base, Config{Workers: 2, CacheSize: 0})
+	if n := e.Speculate(reqs); n == 0 {
+		t.Fatal("first Speculate issued nothing")
+	}
+	if n := e.Speculate(reqs); n != 0 {
+		t.Errorf("second Speculate re-issued %d runs", n)
+	}
+	e.WaitSpeculation()
+	if n := e.Speculate(reqs); n != 0 {
+		t.Errorf("Speculate after WaitSpeculation issued %d runs", n)
+	}
+}
+
+// TestBeginSpeculativeRefusals covers the side-table admission rules.
+func TestBeginSpeculativeRefusals(t *testing.T) {
+	mk := func(i int) RunKey { return RunKey{Pred: trace.Instance{Stmt: i, Occ: 1}} }
+
+	c := NewRunCache(2)
+	// Key already stored demand-side: refused.
+	c.GetOrRun(mk(1), func() *interp.Result { return &interp.Result{} })
+	if _, ok := c.BeginSpeculative(mk(1)); ok {
+		t.Error("BeginSpeculative accepted a stored key")
+	}
+	// Duplicate speculative registration: refused.
+	commit, ok := c.BeginSpeculative(mk(2))
+	if !ok {
+		t.Fatal("BeginSpeculative refused a fresh key")
+	}
+	if _, ok := c.BeginSpeculative(mk(2)); ok {
+		t.Error("BeginSpeculative accepted an in-flight speculative key")
+	}
+	commit(&interp.Result{})
+	if _, ok := c.BeginSpeculative(mk(2)); ok {
+		t.Error("BeginSpeculative accepted a committed speculative key")
+	}
+	// Side table bounded by cap (cap=2: one committed entry + one more).
+	if _, ok := c.BeginSpeculative(mk(3)); !ok {
+		t.Fatal("BeginSpeculative refused under capacity")
+	}
+	if _, ok := c.BeginSpeculative(mk(4)); ok {
+		t.Error("BeginSpeculative exceeded the side-table bound")
+	}
+}
+
+// TestSpeculativeClaimCharging: a committed speculative entry is claimed
+// by the next demand lookup as a miss (lookupClaimed), moves into the
+// LRU, and the second lookup is a plain hit.
+func TestSpeculativeClaimCharging(t *testing.T) {
+	c := NewRunCache(4)
+	key := RunKey{Pred: trace.Instance{Stmt: 9, Occ: 1}}
+	commit, ok := c.BeginSpeculative(key)
+	if !ok {
+		t.Fatal("BeginSpeculative refused")
+	}
+	want := &interp.Result{}
+	commit(want)
+
+	ran := false
+	res, out := c.getOrRun(key, func() *interp.Result { ran = true; return &interp.Result{} })
+	if out != lookupClaimed || res != want || ran {
+		t.Fatalf("first lookup: outcome=%v ran=%v", out, ran)
+	}
+	if _, out := c.getOrRun(key, func() *interp.Result { t.Fatal("re-ran"); return nil }); out != lookupHit {
+		t.Fatalf("second lookup: outcome=%v, want hit", out)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss (claim charged as the miss)", s)
+	}
+}
+
+// TestSpeculativeCancelNotStored: committing nil or a canceled result
+// records nothing — the poisoning guard extends to the side table — and
+// a demand lookup blocked on the speculative run re-enters and executes
+// itself.
+func TestSpeculativeCancelNotStored(t *testing.T) {
+	for _, res := range []*interp.Result{
+		nil,
+		{Err: interp.ErrCanceled},
+	} {
+		c := NewRunCache(4)
+		key := RunKey{Pred: trace.Instance{Stmt: 5, Occ: 1}}
+		commit, ok := c.BeginSpeculative(key)
+		if !ok {
+			t.Fatal("BeginSpeculative refused")
+		}
+
+		type lookup struct {
+			res *interp.Result
+			out lookupOutcome
+		}
+		done := make(chan lookup)
+		fresh := &interp.Result{}
+		go func() {
+			r, out := c.getOrRun(key, func() *interp.Result { return fresh })
+			done <- lookup{r, out}
+		}()
+		// The demand lookup must be blocked on the speculative run, not
+		// racing a duplicate execution.
+		select {
+		case l := <-done:
+			t.Fatalf("demand lookup did not wait for the speculative run: %+v", l)
+		case <-time.After(20 * time.Millisecond):
+		}
+		commit(res)
+		l := <-done
+		if l.out != lookupRan || l.res != fresh {
+			t.Errorf("after canceled speculation: outcome=%v res=%p, want ran/%p", l.out, l.res, fresh)
+		}
+		if s := c.Stats(); s.Len != 1 {
+			t.Errorf("cache holds %d entries, want 1 (the demand re-execution only)", s.Len)
+		}
+	}
+}
+
+// TestWaitSpeculationAbortsInFlight: canceling the engine's speculation
+// context mid-run discards the results — the shared cache holds nothing
+// a later engine could be poisoned by — and a fresh engine over the same
+// cache reproduces the sequential baseline.
+func TestWaitSpeculationAbortsInFlight(t *testing.T) {
+	cache := NewRunCache(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	base, reqs := fixture(t)
+	e := New(base, Config{Workers: 2, Cache: cache, Ctx: ctx})
+	e.Speculate(reqs)
+	cancel() // abort demand AND speculation contexts mid-flight
+	e.WaitSpeculation()
+
+	// Whatever completed before the cancel is a real, uncanceled run;
+	// canceled ones must not have been committed. Claiming the survivors
+	// from a fresh engine must reproduce the baseline verdicts.
+	wantVerdicts, _ := sequentialBaseline(t, reqs)
+	base2, reqs2 := fixture(t)
+	e2 := New(base2, Config{Workers: 1, Cache: cache})
+	got := e2.VerifyBatch(reqs2)
+	if !reflect.DeepEqual(got, wantVerdicts) {
+		t.Errorf("verdicts after aborted speculation = %v, want %v", got, wantVerdicts)
+	}
+}
+
+// TestSpeculateAfterEngineCtxCanceled: a dead engine context makes
+// Speculate a no-op and any registered-but-unstarted goroutines commit
+// nil promptly instead of executing.
+func TestSpeculateAfterEngineCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base, reqs := fixture(t)
+	e := New(base, Config{Workers: 2, CacheSize: 0, Ctx: ctx})
+	if n := e.Speculate(reqs); n != 0 {
+		t.Errorf("Speculate issued %d runs under a canceled context", n)
+	}
+	e.WaitSpeculation()
+	if s := e.Stats(); s.SpecIssued != 0 || s.SpecHits != 0 || s.SpecWasted != 0 {
+		t.Errorf("stats after canceled-context speculation: %+v", s)
+	}
+	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected ctx state: %v", err)
+	}
+}
